@@ -1,0 +1,203 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablation benches for the design choices DESIGN.md
+// calls out. Each benchmark regenerates its experiment end to end on the
+// simulated substrate and reports the headline quantity (usually the
+// Zeppelin-over-TE-CP speedup) as a custom metric, so `go test -bench=.`
+// reproduces the whole evaluation. The printable row/series output lives
+// in cmd/zeppelin (`zeppelin fig8`, etc.), which drives the same runners.
+package zeppelin_test
+
+import (
+	"io"
+	"testing"
+
+	"zeppelin/internal/baselines"
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/experiments"
+	"zeppelin/internal/model"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+	zep "zeppelin/internal/zeppelin"
+)
+
+// quick keeps per-iteration cost sane: benchmarks average one batch per
+// cell; the CLI defaults to three.
+var quick = experiments.Options{Seeds: 1}
+
+func BenchmarkFig1DatasetDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Fig1()
+		if len(rs) != len(workload.All) {
+			b.Fatal("missing datasets")
+		}
+	}
+}
+
+func BenchmarkTable2Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable2(io.Discard)
+	}
+}
+
+func BenchmarkFig3AttentionCostBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3Packing(workload.StackExchange, 20)
+		b.ReportMetric(experiments.ShortSeqOverheadShare(r, 0), "short-overhead-share")
+		experiments.Fig3EvenCP(workload.StackExchange, 20)
+	}
+}
+
+func BenchmarkFig5ZoneBoundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5()
+		b.ReportMetric(r.S0, "local-intra-boundary-tokens")
+		b.ReportMetric(r.S1, "intra-inter-boundary-tokens")
+	}
+}
+
+func BenchmarkFig8EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig8(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.AverageSpeedup(panels), "avg-speedup-x")
+		b.ReportMetric(experiments.MaxSpeedup(panels), "max-speedup-x")
+	}
+}
+
+func BenchmarkFig9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig9(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report Zeppelin's 128-vs-16 GPU scaling factor on ArXiv.
+		for _, s := range series {
+			if s.Dataset == "arxiv" && s.Method == "Zeppelin" {
+				b.ReportMetric(s.Tput[len(s.Tput)-1]/s.Tput[0], "zeppelin-scaling-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10ClusterAB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("expected 2 clusters x 3 datasets")
+		}
+	}
+}
+
+func BenchmarkFig11Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0] // arxiv
+		base := r.Tput[0]
+		b.ReportMetric(r.Tput[1]/base, "routing-only-x")
+		b.ReportMetric(r.Tput[len(r.Tput)-1]/base, "full-zeppelin-x")
+	}
+}
+
+func BenchmarkFig12Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sc := range experiments.Fig12Scenarios() {
+			if _, err := experiments.Fig12Trace(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable3CostDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cols, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cols[1].Forward.Max/cols[0].Forward.Max, "skew-over-balanced-x")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches for design choices (DESIGN.md §5): routing proxy
+// count, capacity factor, and per-method single-cell costs.
+// ---------------------------------------------------------------------
+
+func cellBench(b *testing.B, m trainer.Method) {
+	cell := experiments.Cell{Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2, TP: 1, TokensPerGPU: 4096}
+	for i := 0; i < b.N; i++ {
+		tput, err := experiments.MeanThroughput(cell, workload.GitHub.Batch, m, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tput, "tokens/s")
+	}
+}
+
+func BenchmarkMethodTECP(b *testing.B)     { cellBench(b, baselines.TECP{}) }
+func BenchmarkMethodLLaMACP(b *testing.B)  { cellBench(b, baselines.LLaMACP{}) }
+func BenchmarkMethodHybridDP(b *testing.B) { cellBench(b, baselines.HybridDP{}) }
+func BenchmarkMethodZeppelin(b *testing.B) { cellBench(b, zep.Full()) }
+
+// Ablation: Zeppelin feature flags on the long-sequence dataset.
+func BenchmarkAblationAttnEngineOnly(b *testing.B)   { cellBench(b, zep.Method{}) }
+func BenchmarkAblationEngineAndRouting(b *testing.B) { cellBench(b, zep.Method{Routing: true}) }
+
+// Ablation: capacity factor governs partition granularity.
+func BenchmarkAblationCapacityFactor(b *testing.B) {
+	for _, cf := range []float64{1.0, 1.25, 2.0, 4.0} {
+		b.Run(capName(cf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := trainer.Config{
+					Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2,
+					CapacityFactor: cf, Seed: 9,
+				}
+				batch := cfg.Batch(workload.GitHub.Batch)
+				res, err := trainer.Run(cfg, zep.Full(), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TokensPerSec, "tokens/s")
+			}
+		})
+	}
+}
+
+func capName(cf float64) string {
+	switch cf {
+	case 1.0:
+		return "L=1.00x"
+	case 1.25:
+		return "L=1.25x"
+	case 2.0:
+		return "L=2.00x"
+	default:
+		return "L=4.00x"
+	}
+}
+
+// Core-loop micro-benchmarks: partitioner and remapping solver costs,
+// the "Sequence Partition" row of Table 3.
+func BenchmarkPartitionerPlan(b *testing.B) {
+	cfg := trainer.Config{Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 4, Seed: 3}
+	batch := cfg.Batch(workload.GitHub.Batch)
+	env, err := cfg.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = env
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.Run(cfg, zep.Method{}, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command zeppelin-partition samples a batch from a dataset and prints
+// the hierarchical partition plan the sequence partitioner produces:
+// zone thresholds, ring groups, per-rank token and causal-pair loads, and
+// the remapping transfers needed to balance the linear modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/partition"
+	"zeppelin/internal/remap"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "arxiv", "dataset name (arxiv, github, prolong64k, ...)")
+	clusterName := flag.String("cluster", "A", "cluster preset (A, B, C)")
+	nodes := flag.Int("nodes", 2, "number of nodes")
+	tokensPerGPU := flag.Int("tokens-per-gpu", 4096, "context budget per GPU")
+	capacity := flag.Float64("capacity-factor", 1.25, "L = factor x tokens per GPU")
+	seed := flag.Int64("seed", 1, "batch sampling seed")
+	flag.Parse()
+
+	if err := run(*dataset, *clusterName, *nodes, *tokensPerGPU, *capacity, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "zeppelin-partition:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, clusterName string, nodes, tokensPerGPU int, capacity float64, seed int64) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	spec, err := cluster.ByName(clusterName)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(spec, nodes)
+	if err != nil {
+		return err
+	}
+	capTokens := int(capacity * float64(tokensPerGPU))
+	p, err := partition.New(partition.Config{Cluster: c, CapacityTokens: capTokens})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	batch := d.Batch(tokensPerGPU*c.World(), rng)
+	res, err := p.Plan(batch)
+	if err != nil {
+		return err
+	}
+	if err := res.Plan.Validate(batch); err != nil {
+		return err
+	}
+
+	fmt.Printf("dataset %s, cluster %s x%d nodes (%d GPUs), %d tokens, L=%d\n",
+		d.Name, spec.Name, nodes, c.World(), seq.TotalLen(batch), capTokens)
+	fmt.Printf("batch: %d sequences\n", len(batch))
+	for _, s := range batch {
+		fmt.Printf("  seq %3d  len %6d\n", s.ID, s.Len)
+	}
+	fmt.Printf("\ninter-node threshold s1 = %d; per-node intra thresholds s0 = %v\n", res.S1, res.S0)
+	fmt.Printf("\nrings (%d):\n", len(res.Plan.Rings))
+	for _, ring := range res.Plan.Rings {
+		fmt.Printf("  seq %3d  len %6d  %-10s G=%-3d ranks %v\n",
+			ring.Seq.ID, ring.Seq.Len, ring.Zone, ring.G(), ring.Ranks)
+	}
+	fmt.Println("\nlocal sequences:")
+	for r, ls := range res.Plan.Local {
+		if len(ls) == 0 {
+			continue
+		}
+		fmt.Printf("  rank %3d:", r)
+		for _, s := range ls {
+			fmt.Printf(" seq%d(%d)", s.ID, s.Len)
+		}
+		fmt.Println()
+	}
+	toks := res.Plan.TokensPerRank()
+	pairs := res.Plan.PairsPerRank()
+	fmt.Println("\nper-rank load:")
+	for r := 0; r < c.World(); r++ {
+		fmt.Printf("  rank %3d: %6d tokens  %12.0f pairs\n", r, toks[r], pairs[r])
+	}
+
+	bIntra := 1 / spec.IntraBandwidth
+	bInter := 1 / spec.NICBandwidth
+	rp, err := remap.Solve(toks, c, bIntra, bInter)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nremapping to token balance: %d transfers, %d inter-node tokens\n",
+		len(rp.Transfers), rp.InterTokens)
+	for _, tr := range rp.Transfers {
+		kind := "intra"
+		if !c.SameNode(tr.From, tr.To) {
+			kind = "INTER"
+		}
+		fmt.Printf("  %s %3d -> %3d : %6d tokens\n", kind, tr.From, tr.To, tr.Tokens)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command zeppelin-trace runs one attention layer (forward + backward)
+// for a chosen method and batch shape and renders the execution timeline,
+// reproducing the Fig. 12 trace methodology on arbitrary configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"zeppelin/internal/baselines"
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/model"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/trace"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
+)
+
+func main() {
+	method := flag.String("method", "zeppelin", "zeppelin, tecp, tecp-routed, llamacp, hybriddp")
+	modelName := flag.String("model", "3B", "model preset (3B, 7B, 13B, 30B, 8x550M)")
+	clusterName := flag.String("cluster", "A", "cluster preset (A, B, C)")
+	nodes := flag.Int("nodes", 2, "number of nodes")
+	dataset := flag.String("dataset", "", "sample the batch from this dataset")
+	lengths := flag.String("lengths", "65536", "comma-separated sequence lengths (ignored with -dataset)")
+	ranks := flag.String("ranks", "0,8,12", "ranks to render")
+	width := flag.Int("width", 100, "timeline width in columns")
+	flag.Parse()
+
+	if err := run(*method, *modelName, *clusterName, *nodes, *dataset, *lengths, *ranks, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "zeppelin-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pickMethod(name string) (trainer.Method, error) {
+	switch name {
+	case "zeppelin":
+		return zeppelin.Full(), nil
+	case "tecp":
+		return baselines.TECP{}, nil
+	case "tecp-routed":
+		return baselines.TECP{Routed: true}, nil
+	case "llamacp":
+		return baselines.LLaMACP{}, nil
+	case "hybriddp":
+		return baselines.HybridDP{}, nil
+	case "packing":
+		return baselines.Packing{}, nil
+	}
+	return nil, fmt.Errorf("unknown method %q", name)
+}
+
+func run(method, modelName, clusterName string, nodes int, dataset, lengths, ranks string, width int) error {
+	m, err := pickMethod(method)
+	if err != nil {
+		return err
+	}
+	mc, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	spec, err := cluster.ByName(clusterName)
+	if err != nil {
+		return err
+	}
+	cfg := trainer.Config{Model: mc, Spec: spec, Nodes: nodes, Seed: 1}
+	env, err := cfg.NewEnv()
+	if err != nil {
+		return err
+	}
+	var batch []seq.Sequence
+	if dataset != "" {
+		d, err := workload.ByName(dataset)
+		if err != nil {
+			return err
+		}
+		batch = d.Batch(cfg.TotalTokens(), rand.New(rand.NewSource(1)))
+	} else {
+		ls, err := parseInts(lengths)
+		if err != nil {
+			return err
+		}
+		for i, l := range ls {
+			batch = append(batch, seq.Sequence{ID: i, Len: l})
+		}
+	}
+	rs, err := parseInts(ranks)
+	if err != nil {
+		return err
+	}
+	pl, err := m.Plan(env, batch)
+	if err != nil {
+		return err
+	}
+	fwd := pl.EmitAttention(env, false)
+	pl.EmitAttention(env, true, fwd)
+	if _, err := env.E.Run(); err != nil {
+		return err
+	}
+	events := trace.Collect(env.E)
+	fmt.Printf("%s, %s, cluster %s x%d, %d tokens in %d sequences\n",
+		m.Name(), mc.Name, spec.Name, nodes, seq.TotalLen(batch), len(batch))
+	trace.Timeline(os.Stdout, events, rs, width)
+	fmt.Println("\nforward statistics:")
+	trace.WriteStats(os.Stdout, trace.Filter(events, "attn-fwd"))
+	fmt.Println("backward statistics:")
+	trace.WriteStats(os.Stdout, trace.Filter(events, "attn-bwd"))
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command zeppelin regenerates the paper's evaluation tables and figures
+// on the simulated cluster substrate.
+//
+// Usage:
+//
+//	zeppelin [-seeds N] <experiment>
+//
+// where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
+// fig10, fig11, fig12, table3, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zeppelin/internal/experiments"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 3, "independently sampled batches averaged per cell")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zeppelin [-seeds N] <fig1|table2|fig3|fig5|fig8|fig9|fig10|fig11|fig12|table3|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seeds: *seeds}
+	if err := dispatch(os.Stdout, flag.Arg(0), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "zeppelin:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(w io.Writer, name string, opts experiments.Options) error {
+	runs := map[string]func(io.Writer, experiments.Options) error{
+		"fig1":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig1(w); return nil },
+		"table2": func(w io.Writer, _ experiments.Options) error { experiments.WriteTable2(w); return nil },
+		"fig3":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig3(w); return nil },
+		"fig5":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig5(w); return nil },
+		"fig8":   experiments.WriteFig8,
+		"fig9":   experiments.WriteFig9,
+		"fig10":  experiments.WriteFig10,
+		"fig11":  experiments.WriteFig11,
+		"fig12":  func(w io.Writer, _ experiments.Options) error { return experiments.WriteFig12(w) },
+		"table3": func(w io.Writer, _ experiments.Options) error { return experiments.WriteTable3(w) },
+	}
+	if name == "all" {
+		for _, key := range []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "table3"} {
+			fmt.Fprintf(w, "\n================ %s ================\n", key)
+			if err := runs[key](w, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	run, ok := runs[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return run(w, opts)
+}

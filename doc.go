@@ -1,0 +1,26 @@
+// Package zeppelin is a from-scratch Go reproduction of "Zeppelin:
+// Balancing Variable-length Workloads in Data Parallel Large Model
+// Training" (EUROSYS 2026). The root package only anchors the module's
+// benchmark harness (bench_test.go); the implementation lives under
+// internal/:
+//
+//   - internal/sim        — deterministic discrete-event simulator
+//   - internal/cluster    — GPU cluster topologies (Clusters A, B, C)
+//   - internal/model      — transformer configurations (3B…30B, 8×550M MoE)
+//   - internal/costmodel  — kernel and transfer time models, zone analysis
+//   - internal/workload   — Table 2 / Fig. 1 length distributions
+//   - internal/seq        — sequences, rings, placement plans
+//   - internal/flow       — max-flow / min-cost-flow solvers
+//   - internal/partition  — hierarchical sequence partitioner (Alg. 1 + 2)
+//   - internal/attention  — three-queue ring attention engine
+//   - internal/routing    — three-step multi-NIC communication routing
+//   - internal/remap      — Eq. 2 remapping layer
+//   - internal/baselines  — TE CP, LLaMA CP, Hybrid DP
+//   - internal/zeppelin   — the assembled system (trainer.Method)
+//   - internal/trainer    — end-to-end iteration simulation
+//   - internal/experiments— regenerators for every paper table and figure
+//   - internal/trace      — Fig. 12-style timeline rendering
+//
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// per-experiment index.
+package zeppelin

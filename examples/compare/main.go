@@ -1,0 +1,55 @@
+// Compare: run all four scheduling systems (TE CP, LLaMA CP, Hybrid DP,
+// Zeppelin) on the same batches and print a Fig.8-style throughput table
+// with speedups over the TE CP baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/experiments"
+	"zeppelin/internal/model"
+	"zeppelin/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "7B", "model preset (3B, 7B, 13B, 30B, 8x550M)")
+	clusterName := flag.String("cluster", "A", "cluster preset (A, B, C)")
+	nodes := flag.Int("nodes", 2, "number of nodes (8 GPUs each)")
+	seeds := flag.Int("seeds", 3, "batches averaged per cell")
+	flag.Parse()
+
+	mc, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := cluster.ByName(*clusterName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell := experiments.Cell{Model: mc, Spec: spec, Nodes: *nodes, TP: 1, TokensPerGPU: 4096}
+
+	fmt.Printf("%s on cluster %s, %d GPUs, %dk total context, mean over %d batches\n\n",
+		mc.Name, spec.Name, *nodes*spec.GPUsPerNode, *nodes*spec.GPUsPerNode*4096/1024, *seeds)
+	for _, d := range workload.Eval {
+		fmt.Printf("%s:\n", d.Name)
+		var base float64
+		for _, m := range experiments.AllMethods() {
+			tput, err := experiments.MeanThroughput(cell, d.Batch, m, *seeds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.Name() == "TE CP" {
+				base = tput
+			}
+			norm := ""
+			if base > 0 {
+				norm = fmt.Sprintf("%5.2fx vs TE CP", tput/base)
+			}
+			fmt.Printf("  %-16s %10.0f tok/s  %s\n", m.Name(), tput, norm)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,29 @@
+// Timeline: trace one attention layer for TE CP and for Zeppelin on the
+// same single 64k sequence and render both schedules side by side — the
+// Fig. 12 comparison showing how routing decomposes the cross-node
+// bottleneck and how the hierarchical partition removes it entirely for
+// multi-sequence batches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"zeppelin/internal/experiments"
+	"zeppelin/internal/trace"
+)
+
+func main() {
+	for _, sc := range experiments.Fig12Scenarios() {
+		events, err := experiments.Fig12Trace(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", sc.Title)
+		trace.Timeline(os.Stdout, events, []int{0, 8, 12}, 110)
+		fwd := trace.Filter(events, "attn-fwd")
+		fmt.Println("forward phase:")
+		trace.WriteStats(os.Stdout, fwd)
+	}
+}

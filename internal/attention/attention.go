@@ -1,0 +1,156 @@
+// Package attention implements Zeppelin's attention engine (§3.2): it
+// turns a partition plan into a discrete-event task graph that executes
+// ring attention for inter-node and intra-node sequence groups and plain
+// variable-length attention for local sequences.
+//
+// Scheduling follows the paper's three-queue ordering — inter-node rings
+// first (their communication subsumes intra-node groups, so finishing
+// them unblocks everything else), then intra-node rings, then local
+// sequences last. Within a ring, each round overlaps the computation on
+// the current KV block with the transfer of the next one, and the causal
+// mask's triangular load is balanced with the 2G-chunk scheme (rank i owns
+// chunks i and 2G−1−i), which equalizes every rank's pair count.
+package attention
+
+import (
+	"fmt"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/costmodel"
+	"zeppelin/internal/model"
+	"zeppelin/internal/routing"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/sim"
+)
+
+// Engine emits attention execution graphs onto a simulator.
+type Engine struct {
+	F  *cluster.Fabric
+	R  *routing.Router
+	CM *costmodel.Model
+}
+
+// New assembles an engine; the router decides whether cross-node ring
+// traffic is three-step routed or sent directly.
+func New(f *cluster.Fabric, r *routing.Router, cm *costmodel.Model) *Engine {
+	return &Engine{F: f, R: r, CM: cm}
+}
+
+// pass direction controls compute/comm scaling and queue order.
+type pass struct {
+	name        string
+	computeMul  float64
+	commMul     float64
+	reverseTier bool // backward executes local -> intra -> inter
+}
+
+var (
+	fwd = pass{name: "fwd", computeMul: 1, commMul: 1}
+	bwd = pass{name: "bwd", computeMul: costmodel.BwdComputeFactor,
+		commMul: costmodel.BwdCommFactor, reverseTier: true}
+)
+
+// EmitForward appends the forward attention graph for one layer and
+// returns a barrier that completes when every rank has finished. lastComp
+// tracks per-rank compute chaining across calls; pass nil for a fresh
+// layer boundary.
+func (en *Engine) EmitForward(plan *seq.Plan, deps ...*sim.Task) *sim.Task {
+	return en.emit(plan, fwd, deps)
+}
+
+// EmitBackward appends the backward attention graph (≈2× compute, 2× KV
+// traffic for dKV circulation, tiers in reverse order per Fig. 12c).
+func (en *Engine) EmitBackward(plan *seq.Plan, deps ...*sim.Task) *sim.Task {
+	return en.emit(plan, bwd, deps)
+}
+
+func (en *Engine) emit(plan *seq.Plan, p pass, deps []*sim.Task) *sim.Task {
+	world := plan.World
+	lastComp := make([]*sim.Task, world)
+
+	var interRings, intraRings []seq.Ring
+	for _, ring := range plan.Rings {
+		if ring.Zone == seq.ZoneInter {
+			interRings = append(interRings, ring)
+		} else {
+			intraRings = append(intraRings, ring)
+		}
+	}
+
+	emitLocal := func() {
+		for rank := 0; rank < world; rank++ {
+			for _, s := range plan.Local[rank] {
+				d := en.CM.CausalAttnTime(float64(s.Len)) * p.computeMul
+				t := en.F.ComputeTask(fmt.Sprintf("attn-%s/local/seq%d", p.name, s.ID), rank, d)
+				t.After(deps...)
+				t.After(lastComp[rank])
+				lastComp[rank] = t
+			}
+		}
+	}
+	emitRings := func(rings []seq.Ring) {
+		for _, ring := range rings {
+			en.emitRing(ring, p, deps, lastComp)
+		}
+	}
+
+	if p.reverseTier {
+		emitLocal()
+		emitRings(intraRings)
+		emitRings(interRings)
+	} else {
+		emitRings(interRings)
+		emitRings(intraRings)
+		emitLocal()
+	}
+
+	done := en.F.E.Barrier("attn-"+p.name+"/done", 0)
+	for rank := 0; rank < world; rank++ {
+		done.After(lastComp[rank])
+	}
+	done.After(deps...) // cover the all-local-empty rank case
+	return done
+}
+
+// emitRing schedules G rounds of ring attention for one sequence group.
+// Round t on rank i computes that rank's query chunks against the KV
+// block received in round t−1, while forwarding the block it already
+// holds to the next rank — the overlap structure of Fig. 6.
+func (en *Engine) emitRing(ring seq.Ring, p pass, deps []*sim.Task, lastComp []*sim.Task) {
+	g := ring.G()
+	s := float64(ring.Seq.Len)
+	// 2G-chunk causal balancing: every rank computes an equal share of
+	// the triangle each round. Each round also pays the fixed chunked-
+	// execution overhead (sync + softmax rescale + launch).
+	perRound := en.CM.AttnTimePairs(model.CausalPairs(s)/float64(g*g))*p.computeMul +
+		costmodel.RingRoundOverhead
+	blockBytes := en.CM.KVBytes(s/float64(g)) * p.commMul
+
+	// have[i] is the task whose completion delivers the KV block rank i
+	// consumes in the current round.
+	have := make([]*sim.Task, g)
+	for t := 0; t < g; t++ {
+		next := make([]*sim.Task, g)
+		for i, rank := range ring.Ranks {
+			if t < g-1 {
+				// Forward the currently held block while computing on it.
+				dst := ring.Ranks[(i+1)%g]
+				label := fmt.Sprintf("attn-%s/ring%d/r%d/kv%d->%d", p.name, ring.Seq.ID, t, rank, dst)
+				var xDeps []*sim.Task
+				xDeps = append(xDeps, deps...)
+				if have[i] != nil {
+					xDeps = append(xDeps, have[i])
+				}
+				next[(i+1)%g] = en.R.Transfer(label, rank, dst, blockBytes, xDeps...)
+			}
+			comp := en.F.ComputeTask(
+				fmt.Sprintf("attn-%s/ring%d/r%d/comp@%d", p.name, ring.Seq.ID, t, rank),
+				rank, perRound)
+			comp.After(deps...)
+			comp.After(have[i])        // wait for this round's KV block
+			comp.After(lastComp[rank]) // keep the compute stream ordered
+			lastComp[rank] = comp
+		}
+		have = next
+	}
+}

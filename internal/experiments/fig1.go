@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"zeppelin/internal/workload"
+)
+
+// Fig1Result holds, per dataset, the published sequence-count proportions
+// and the token-mass histogram of a large sampled batch.
+type Fig1Result struct {
+	Dataset    string
+	SeqProps   []float64 // published Table-2-style proportions (normalized)
+	TokenHist  []float64 // sampled token-mass fraction per bin
+	MeanLength float64
+}
+
+// Fig1 reproduces the dataset length-distribution figure: for each of the
+// seven datasets it reports the per-bin proportions and verifies them by
+// sampling a large synthetic batch.
+func Fig1() []Fig1Result {
+	var out []Fig1Result
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range workload.All {
+		batch := d.Batch(8<<20, rng) // 8M tokens smooths the histogram
+		var sum float64
+		for _, p := range d.Probs {
+			sum += p
+		}
+		props := make([]float64, len(d.Probs))
+		for i, p := range d.Probs {
+			props[i] = p / sum
+		}
+		out = append(out, Fig1Result{
+			Dataset:    d.Name,
+			SeqProps:   props,
+			TokenHist:  workload.BinHistogram(batch),
+			MeanLength: d.MeanLen(),
+		})
+	}
+	return out
+}
+
+// WriteFig1 renders the distributions as rows of per-bin percentages.
+func WriteFig1(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: sequence length distribution per dataset")
+	fmt.Fprintf(w, "%-14s", "dataset")
+	for _, l := range workload.BinLabels {
+		fmt.Fprintf(w, "%9s", l)
+	}
+	fmt.Fprintf(w, "%10s\n", "mean len")
+	for _, r := range Fig1() {
+		fmt.Fprintf(w, "%-14s", r.Dataset)
+		for _, p := range r.SeqProps {
+			fmt.Fprintf(w, "%8.1f%%", 100*p)
+		}
+		fmt.Fprintf(w, "%10.0f\n", r.MeanLength)
+	}
+	fmt.Fprintln(w, "\ntoken-mass share of each bin (sampled, 8M tokens):")
+	for _, r := range Fig1() {
+		fmt.Fprintf(w, "%-14s", r.Dataset)
+		for _, p := range r.TokenHist {
+			fmt.Fprintf(w, "%8.1f%%", 100*p)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTable2 renders the three evaluation datasets' published rows
+// verbatim (Table 2).
+func WriteTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: sequence length distribution of the evaluation datasets")
+	fmt.Fprintf(w, "%-12s", "dataset")
+	for _, l := range workload.BinLabels {
+		fmt.Fprintf(w, "%9s", l)
+	}
+	fmt.Fprintln(w)
+	for _, d := range workload.Eval {
+		fmt.Fprintf(w, "%-12s", d.Name)
+		for _, p := range d.Probs {
+			fmt.Fprintf(w, "%9.3f", p)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/costmodel"
+	"zeppelin/internal/model"
+	"zeppelin/internal/workload"
+)
+
+// Fig5Point is one sequence length's operation costs (seconds).
+type Fig5Point struct {
+	Length    int
+	AttnComp  float64
+	Linear    float64
+	IntraSend float64
+	InterSend float64
+}
+
+// Fig5Result carries the cost curves, the derived zone boundaries, and
+// each dataset's token mass per zone.
+type Fig5Result struct {
+	Points []Fig5Point
+	// S0 is the local/intra boundary, S1 the intra/inter boundary.
+	S0, S1 float64
+	// ZoneShare[dataset] = [local, intra, inter] token-mass fractions.
+	ZoneShare map[string][3]float64
+}
+
+// Fig5 evaluates the A800 cost curves of the motivating figure: attention
+// computation, linear computation, and KV send-receive over NVSwitch and
+// over one NIC, for lengths 1k–64k; the curve crossings define the three
+// placement zones.
+func Fig5() Fig5Result {
+	cm := costmodel.MustNew(model.LLaMA7B, cluster.ClusterA, 1)
+	res := Fig5Result{
+		S0:        cm.LocalIntraBoundary(),
+		S1:        cm.IntraInterBoundary(),
+		ZoneShare: make(map[string][3]float64),
+	}
+	for s := 1 << 10; s <= 64<<10; s *= 2 {
+		kv := cm.KVBytes(float64(s))
+		res.Points = append(res.Points, Fig5Point{
+			Length:    s,
+			AttnComp:  cm.CausalAttnTime(float64(s)),
+			Linear:    cm.LinearTime(float64(s)),
+			IntraSend: cm.IntraTime(kv),
+			InterSend: cm.InterTime(kv),
+		})
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []workload.Dataset{workload.ArXiv, workload.GitHub, workload.FineWeb, workload.ProLong64k} {
+		batch := d.Batch(4<<20, rng)
+		var share [3]float64
+		var total float64
+		for _, s := range batch {
+			l := float64(s.Len)
+			total += l
+			switch {
+			case l < res.S0:
+				share[0] += l
+			case l < res.S1:
+				share[1] += l
+			default:
+				share[2] += l
+			}
+		}
+		for i := range share {
+			share[i] /= total
+		}
+		res.ZoneShare[d.Name] = share
+	}
+	return res
+}
+
+// WriteFig5 renders the curves and zone analysis.
+func WriteFig5(w io.Writer) {
+	r := Fig5()
+	fmt.Fprintln(w, "Figure 5: operation cost vs sequence length (A800, 400 GB/s NVSwitch, 200 Gb/s NIC)")
+	fmt.Fprintf(w, "%8s %14s %14s %16s %16s\n", "length", "attention (ms)", "linear (ms)", "intra s/r (ms)", "inter s/r (ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %14.3f %14.3f %16.3f %16.3f\n",
+			p.Length, p.AttnComp*1e3, p.Linear*1e3, p.IntraSend*1e3, p.InterSend*1e3)
+	}
+	fmt.Fprintf(w, "\nzone boundaries: local < %.0f tokens <= intra-node < %.0f tokens <= inter-node\n", r.S0, r.S1)
+	fmt.Fprintln(w, "\ntoken mass per zone:")
+	fmt.Fprintf(w, "%-14s %10s %12s %12s\n", "dataset", "local", "intra-node", "inter-node")
+	for _, name := range []string{"arxiv", "github", "fineweb", "prolong64k"} {
+		s := r.ZoneShare[name]
+		fmt.Fprintf(w, "%-14s %9.1f%% %11.1f%% %11.1f%%\n", name, 100*s[0], 100*s[1], 100*s[2])
+	}
+}

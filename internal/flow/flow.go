@@ -1,0 +1,207 @@
+// Package flow provides max-flow and min-cost-flow solvers used by the
+// remapping layer (§3.4). The paper formulates remapping as a transport
+// optimization (Eq. 2) and solves it with Gurobi; this package is the
+// from-scratch stand-in: Dinic's algorithm for max flow and successive
+// shortest paths (Bellman–Ford with non-negative edge costs) for min-cost
+// flow. Capacities are integers (token counts); costs are float64 seconds
+// per token.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+type edge struct {
+	to   int
+	cap  int
+	cost float64
+}
+
+// Graph is a directed flow network on n nodes.
+type Graph struct {
+	n     int
+	edges []edge // paired: edge i and i^1 are residual partners
+	head  [][]int
+}
+
+// NewGraph creates a flow network with n nodes (0..n-1).
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("flow: graph needs at least one node")
+	}
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, returning an id usable with EdgeFlow. Panics on invalid endpoints
+// or negative capacity.
+func (g *Graph) AddEdge(u, v, capacity int, cost float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
+	g.head[u] = append(g.head[u], id)
+	g.head[v] = append(g.head[v], id+1)
+	return id
+}
+
+// EdgeFlow returns the flow currently routed through edge id.
+func (g *Graph) EdgeFlow(id int) int {
+	// Flow equals the residual capacity accumulated on the reverse edge.
+	return g.edges[id^1].cap
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm,
+// disregarding costs. It mutates residual capacities; call on a fresh
+// graph (or after a previous flow you want to extend).
+func (g *Graph) MaxFlow(s, t int) int {
+	if s == t {
+		return 0
+	}
+	total := 0
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		level[s] = 0
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.head[u] {
+				e := g.edges[id]
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u, limit int) int
+	dfs = func(u, limit int) int {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(g.head[u]); iter[u]++ {
+			id := g.head[u][iter[u]]
+			e := g.edges[id]
+			if e.cap <= 0 || level[e.to] != level[u]+1 {
+				continue
+			}
+			pushed := dfs(e.to, min(limit, e.cap))
+			if pushed > 0 {
+				g.edges[id].cap -= pushed
+				g.edges[id^1].cap += pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(s, math.MaxInt)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// MinCostFlow routes up to maxFlow units from s to t along successively
+// cheapest augmenting paths and returns the flow achieved and its total
+// cost. Pass math.MaxInt to route the maximum flow. Costs may be any
+// non-negative float; negative-cost edges are rejected.
+func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
+	for i := 0; i < len(g.edges); i += 2 {
+		if g.edges[i].cost < 0 {
+			panic("flow: MinCostFlow requires non-negative edge costs")
+		}
+	}
+	totalFlow := 0
+	totalCost := 0.0
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+
+	for totalFlow < maxFlow {
+		// Bellman–Ford (SPFA) over the residual graph; residual arcs can
+		// have negative cost, so Dijkstra is not directly applicable.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, id := range g.head[u] {
+				e := g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				nd := dist[u] + e.cost
+				if nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = id
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break
+		}
+		// Find bottleneck along the path.
+		push := maxFlow - totalFlow
+		for v := t; v != s; {
+			id := prevEdge[v]
+			if g.edges[id].cap < push {
+				push = g.edges[id].cap
+			}
+			v = g.edges[id^1].to
+		}
+		for v := t; v != s; {
+			id := prevEdge[v]
+			g.edges[id].cap -= push
+			g.edges[id^1].cap += push
+			v = g.edges[id^1].to
+		}
+		totalFlow += push
+		totalCost += float64(push) * dist[t]
+	}
+	return totalFlow, totalCost
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

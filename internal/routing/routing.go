@@ -1,0 +1,117 @@
+// Package routing implements Zeppelin's communication routing layer
+// (§3.3): it disaggregates logical inter-node transfers from fixed GPU–NIC
+// affinity by decomposing each cross-node send into three steps —
+// intra-node dispatch to send-proxy ranks, multi-NIC inter-node transfer,
+// and intra-node combine at the destination. With a ~10× bandwidth gap
+// between NVSwitch and a single NIC, spreading one flow across all of a
+// node's NICs converts the per-round ring-attention bottleneck from one
+// NIC's bandwidth to the node's aggregate bandwidth (Eq. 1).
+package routing
+
+import (
+	"fmt"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/sim"
+)
+
+// RoutedInterEff derates the multi-NIC transfer step of routed sends: the
+// routing layer's copy kernels contend for SMs with attention compute, so
+// inter-node transfers stall between communication kernels — the
+// "bubbles" of Fig. 12b, where the measured per-round communication drops
+// from 2.18 ms to ~1.3 ms rather than the ideal NIC-count factor.
+const RoutedInterEff = 0.5
+
+// Router emits transfer tasks onto a fabric. With Enabled=false it falls
+// back to direct sends (the TE CP baseline behaviour), which makes the
+// router the single switch for the Fig. 11 "w/ Routing" ablation.
+type Router struct {
+	F *cluster.Fabric
+	// Enabled selects three-step routing for cross-node transfers.
+	Enabled bool
+	// Proxies caps the number of proxy ranks per node; 0 means all GPUs
+	// of the node serve as proxies (the paper pairs senders and receivers
+	// one-to-one, x1 = x2).
+	Proxies int
+}
+
+// New builds a router over a fabric.
+func New(f *cluster.Fabric, enabled bool) *Router {
+	return &Router{F: f, Enabled: enabled}
+}
+
+// proxyCount resolves the effective number of proxies per node.
+func (r *Router) proxyCount() int {
+	p := r.F.C.GPUsPerNode
+	if r.Proxies > 0 && r.Proxies < p {
+		return r.Proxies
+	}
+	return p
+}
+
+// Transfer moves bytes from src to dst rank, returning the task that
+// completes when all data has arrived. Intra-node and self transfers are
+// always sent directly; cross-node transfers are routed in three steps
+// when routing is enabled.
+func (r *Router) Transfer(label string, src, dst int, bytes float64, deps ...*sim.Task) *sim.Task {
+	c := r.F.C
+	if !r.Enabled || src == dst || c.SameNode(src, dst) || bytes <= 0 {
+		return r.F.Send(label, src, dst, bytes, deps...)
+	}
+	x := r.proxyCount()
+	srcNode, dstNode := c.NodeOf(src), c.NodeOf(dst)
+	srcRanks, dstRanks := c.RanksOfNode(srcNode), c.RanksOfNode(dstNode)
+
+	chunk := bytes / float64(x)
+	arrivals := make([]*sim.Task, 0, x)
+	for i := 0; i < x; i++ {
+		sp := srcRanks[i%len(srcRanks)] // send proxy
+		rp := dstRanks[i%len(dstRanks)] // receive proxy (one-to-one pairing)
+
+		// Step 1: intra-node dispatch src -> send proxy. The source's own
+		// chunk needs no dispatch.
+		var dispatched *sim.Task
+		if sp == src {
+			dispatched = r.F.E.Barrier(label+"/disp-self", src).After(deps...)
+		} else {
+			dispatched = r.F.Send(fmt.Sprintf("%s/disp%d", label, i), src, sp, chunk, deps...)
+		}
+
+		// Step 2: inter-node transfer over the proxy pair's NICs, derated
+		// for SM-contention stalls (Fig. 12b).
+		xfer := r.F.SendVia(fmt.Sprintf("%s/xfer%d", label, i), sp, rp,
+			c.NICOf(sp), c.NICOf(rp), chunk/RoutedInterEff, dispatched)
+
+		// Step 3: intra-node combine receive proxy -> dst.
+		if rp == dst {
+			arrivals = append(arrivals, xfer)
+		} else {
+			arrivals = append(arrivals, r.F.Send(fmt.Sprintf("%s/comb%d", label, i), rp, dst, chunk, xfer))
+		}
+	}
+	return r.F.E.Barrier(label, dst).After(arrivals...)
+}
+
+// Eq1Cost evaluates the paper's Eq. 1: the analytic cost of a routed
+// transfer of n bytes with x1 send proxies and x2 receive proxies, given
+// inverse bandwidths (seconds per byte). Used for tests and the ablation
+// analysis; the simulator computes the same structurally.
+func Eq1Cost(n float64, x1, x2 int, bIntra, bInter float64) float64 {
+	if x1 < 1 || x2 < 1 {
+		panic("routing: proxy counts must be >= 1")
+	}
+	dispatch := bIntra * n * float64(x1-1) / float64(x1)
+	inter := bInter * n / float64(min(x1, x2))
+	combine := bIntra * n * float64(x2-1) / float64(x2)
+	return dispatch + inter + combine
+}
+
+// DirectCost is the unrouted baseline cost bInter·n of Eq. 1's preamble.
+func DirectCost(n float64, bInter float64) float64 { return bInter * n }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+// Package seq defines the sequence, shard, and placement-plan types shared
+// by the sequence partitioner, the attention engine, and the baselines.
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"zeppelin/internal/model"
+)
+
+// Zone classifies where a sequence executes (§3.1, Fig. 5).
+type Zone uint8
+
+// The three zones: local (no communication), intra-node (NVSwitch ring),
+// inter-node (cross-node ring).
+const (
+	ZoneLocal Zone = iota
+	ZoneIntra
+	ZoneInter
+)
+
+// String names a zone as in the paper's figures.
+func (z Zone) String() string {
+	switch z {
+	case ZoneLocal:
+		return "local"
+	case ZoneIntra:
+		return "intra-node"
+	case ZoneInter:
+		return "inter-node"
+	default:
+		return fmt.Sprintf("zone(%d)", uint8(z))
+	}
+}
+
+// Sequence is one variable-length training sample.
+type Sequence struct {
+	ID  int
+	Len int // tokens
+}
+
+// Ring is one distributed-attention group executing a single sequence
+// over an ordered set of ranks with the balanced 2G-chunk causal split.
+type Ring struct {
+	Seq   Sequence
+	Zone  Zone
+	Ranks []int // ring order; len(Ranks) = G ≥ 2
+}
+
+// G returns the ring group size.
+func (r Ring) G() int { return len(r.Ranks) }
+
+// TokensPerRank returns each rank's token share under the 2G-chunk causal
+// balancing scheme (rank i holds chunks i and 2G−1−i, i.e. ~Len/G tokens).
+// Remainder tokens go to the earliest ranks so totals are conserved.
+func (r Ring) TokensPerRank() []int {
+	return SplitEven(r.Seq.Len, r.G())
+}
+
+// PairsPerRank returns each rank's causal-pair share. The 2G-chunk scheme
+// balances pairs exactly across ranks in the continuous limit; we model
+// the share as total pairs / G.
+func (r Ring) PairsPerRank() float64 {
+	return model.CausalPairs(float64(r.Seq.Len)) / float64(r.G())
+}
+
+// Plan is a full placement of a batch across a world of ranks: whole
+// sequences assigned locally plus ring groups for split sequences.
+type Plan struct {
+	World int
+	// Local[rank] lists sequences executed entirely on that rank.
+	Local [][]Sequence
+	Rings []Ring
+}
+
+// NewPlan allocates an empty plan for a world size.
+func NewPlan(world int) *Plan {
+	return &Plan{World: world, Local: make([][]Sequence, world)}
+}
+
+// TokensPerRank returns the attention-layout token count of every rank.
+func (p *Plan) TokensPerRank() []int {
+	out := make([]int, p.World)
+	for r, ls := range p.Local {
+		for _, s := range ls {
+			out[r] += s.Len
+		}
+	}
+	for _, ring := range p.Rings {
+		share := ring.TokensPerRank()
+		for i, r := range ring.Ranks {
+			out[r] += share[i]
+		}
+	}
+	return out
+}
+
+// PairsPerRank returns the causal-pair (quadratic attention) load of every
+// rank, the balance metric of Alg. 2.
+func (p *Plan) PairsPerRank() []float64 {
+	out := make([]float64, p.World)
+	for r, ls := range p.Local {
+		for _, s := range ls {
+			out[r] += model.CausalPairs(float64(s.Len))
+		}
+	}
+	for _, ring := range p.Rings {
+		pp := ring.PairsPerRank()
+		for _, r := range ring.Ranks {
+			out[r] += pp
+		}
+	}
+	return out
+}
+
+// TotalTokens sums all placed tokens.
+func (p *Plan) TotalTokens() int {
+	var n int
+	for _, t := range p.TokensPerRank() {
+		n += t
+	}
+	return n
+}
+
+// RingsOn returns the rings that include a rank, preserving plan order.
+func (p *Plan) RingsOn(rank int) []Ring {
+	var out []Ring
+	for _, ring := range p.Rings {
+		for _, r := range ring.Ranks {
+			if r == rank {
+				out = append(out, ring)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: ranks in range, ring sizes ≥ 2,
+// no duplicate ranks within a ring, zone consistency, and exact token
+// conservation against the input batch.
+func (p *Plan) Validate(batch []Sequence) error {
+	if len(p.Local) != p.World {
+		return fmt.Errorf("plan: local lists %d != world %d", len(p.Local), p.World)
+	}
+	placed := make(map[int]int) // seq ID -> placed tokens
+	for r, ls := range p.Local {
+		if r < 0 || r >= p.World {
+			return fmt.Errorf("plan: rank %d out of range", r)
+		}
+		for _, s := range ls {
+			placed[s.ID] += s.Len
+		}
+	}
+	for i, ring := range p.Rings {
+		if ring.G() < 2 {
+			return fmt.Errorf("plan: ring %d has %d ranks, need >= 2", i, ring.G())
+		}
+		if ring.Zone == ZoneLocal {
+			return fmt.Errorf("plan: ring %d marked local", i)
+		}
+		seen := make(map[int]bool)
+		for _, r := range ring.Ranks {
+			if r < 0 || r >= p.World {
+				return fmt.Errorf("plan: ring %d rank %d out of range", i, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("plan: ring %d has duplicate rank %d", i, r)
+			}
+			seen[r] = true
+		}
+		placed[ring.Seq.ID] += ring.Seq.Len
+	}
+	want := make(map[int]int)
+	for _, s := range batch {
+		want[s.ID] += s.Len
+	}
+	if len(placed) != len(want) {
+		return fmt.Errorf("plan: placed %d distinct sequences, batch has %d", len(placed), len(want))
+	}
+	for id, n := range want {
+		if placed[id] != n {
+			return fmt.Errorf("plan: sequence %d placed %d tokens, want %d", id, placed[id], n)
+		}
+	}
+	return nil
+}
+
+// SplitEven splits n into k near-equal non-negative parts that sum to n,
+// larger parts first. Panics if k <= 0.
+func SplitEven(n, k int) []int {
+	if k <= 0 {
+		panic("seq: SplitEven with k <= 0")
+	}
+	out := make([]int, k)
+	base, rem := n/k, n%k
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SortByLenDesc sorts sequences longest-first (stable on ID for ties), the
+// ordering both partitioning algorithms start from.
+func SortByLenDesc(s []Sequence) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Len != s[j].Len {
+			return s[i].Len > s[j].Len
+		}
+		return s[i].ID < s[j].ID
+	})
+}
+
+// TotalLen sums sequence lengths.
+func TotalLen(s []Sequence) int {
+	var n int
+	for _, q := range s {
+		n += q.Len
+	}
+	return n
+}

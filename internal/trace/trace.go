@@ -1,0 +1,182 @@
+// Package trace captures per-task execution records from a simulation and
+// renders ASCII timelines in the style of the paper's Fig. 12: one lane
+// per (rank, activity kind), showing how attention computation overlaps
+// intra- and inter-node communication round by round.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"zeppelin/internal/sim"
+)
+
+// Event is one completed task occurrence.
+type Event struct {
+	Rank       int
+	Kind       sim.Kind
+	Label      string
+	Start, End float64
+}
+
+// Collect extracts completed, non-barrier tasks from an engine that has
+// already run.
+func Collect(e *sim.Engine) []Event {
+	var out []Event
+	for _, t := range e.Tasks() {
+		if t.Kind == sim.KindBarrier || t.End <= t.Start {
+			continue
+		}
+		out = append(out, Event{Rank: t.Rank, Kind: t.Kind, Label: t.Label, Start: t.Start, End: t.End})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Filter keeps events whose label contains the substring.
+func Filter(events []Event, substr string) []Event {
+	var out []Event
+	for _, ev := range events {
+		if strings.Contains(ev.Label, substr) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Span returns the earliest start and latest end across events.
+func Span(events []Event) (float64, float64) {
+	if len(events) == 0 {
+		return 0, 0
+	}
+	lo, hi := events[0].Start, events[0].End
+	for _, ev := range events {
+		if ev.Start < lo {
+			lo = ev.Start
+		}
+		if ev.End > hi {
+			hi = ev.End
+		}
+	}
+	return lo, hi
+}
+
+// laneChar maps a kind to its timeline glyph: '#' compute, '=' intra-node
+// communication, '~' inter-node communication, '+' memory ops.
+func laneChar(k sim.Kind) byte {
+	switch k {
+	case sim.KindCompute:
+		return '#'
+	case sim.KindIntraComm:
+		return '='
+	case sim.KindInterComm:
+		return '~'
+	case sim.KindMemOp:
+		return '+'
+	default:
+		return '?'
+	}
+}
+
+// Timeline renders a fixed-width ASCII gantt for the chosen ranks, one
+// line per (rank, kind) lane that has any activity. Durations are scaled
+// to width columns over the events' span.
+func Timeline(w io.Writer, events []Event, ranks []int, width int) {
+	if width <= 0 {
+		width = 100
+	}
+	lo, hi := Span(events)
+	if hi <= lo {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	scale := float64(width) / (hi - lo)
+	wanted := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		wanted[r] = true
+	}
+	kinds := []sim.Kind{sim.KindCompute, sim.KindIntraComm, sim.KindInterComm}
+	fmt.Fprintf(w, "span %.3f ms .. %.3f ms  ('#'=compute '='=intra '~'=inter)\n", lo*1e3, hi*1e3)
+	for _, r := range ranks {
+		if !wanted[r] {
+			continue
+		}
+		for _, k := range kinds {
+			line := make([]byte, width)
+			for i := range line {
+				line[i] = '.'
+			}
+			any := false
+			for _, ev := range events {
+				if ev.Rank != r || ev.Kind != k {
+					continue
+				}
+				any = true
+				s := int((ev.Start - lo) * scale)
+				e := int((ev.End - lo) * scale)
+				if e <= s {
+					e = s + 1
+				}
+				if e > width {
+					e = width
+				}
+				for i := s; i < e; i++ {
+					line[i] = laneChar(k)
+				}
+			}
+			if any {
+				fmt.Fprintf(w, "rank %3d %-10s |%s|\n", r, k, line)
+			}
+		}
+	}
+}
+
+// RoundStats summarizes per-kind totals and mean durations, mirroring the
+// per-round annotations in Fig. 12 (e.g. "2.18 ms (15->0)").
+type RoundStats struct {
+	Kind  sim.Kind
+	Count int
+	Total float64
+	Mean  float64
+	Max   float64
+}
+
+// Stats aggregates events by kind.
+func Stats(events []Event) []RoundStats {
+	agg := make(map[sim.Kind]*RoundStats)
+	for _, ev := range events {
+		st, ok := agg[ev.Kind]
+		if !ok {
+			st = &RoundStats{Kind: ev.Kind}
+			agg[ev.Kind] = st
+		}
+		d := ev.End - ev.Start
+		st.Count++
+		st.Total += d
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	var out []RoundStats
+	for _, st := range agg {
+		st.Mean = st.Total / float64(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// WriteStats prints the aggregate table.
+func WriteStats(w io.Writer, events []Event) {
+	for _, st := range Stats(events) {
+		fmt.Fprintf(w, "%-12s count=%4d total=%8.3f ms  mean=%7.3f ms  max=%7.3f ms\n",
+			st.Kind, st.Count, st.Total*1e3, st.Mean*1e3, st.Max*1e3)
+	}
+}

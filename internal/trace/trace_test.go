@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"zeppelin/internal/sim"
+)
+
+func runEngine(t *testing.T) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine()
+	gpu0 := e.NewResource("gpu0", 0)
+	gpu1 := e.NewResource("gpu1", 0)
+	nic := e.NewResource("nic", 100)
+	a := e.Compute("attn/comp@0", 0, gpu0, 1)
+	b := e.Transfer("attn/kv0->1", sim.KindInterComm, 1, nic, 200)
+	c := e.Compute("attn/comp@1", 1, gpu1, 1)
+	c.After(a, b)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCollectSkipsBarriersAndSorts(t *testing.T) {
+	e := runEngine(t)
+	evs := Collect(e)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Rank < evs[i-1].Rank {
+			t.Fatal("events not sorted by rank")
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	e := runEngine(t)
+	evs := Collect(e)
+	if got := Filter(evs, "comp"); len(got) != 2 {
+		t.Fatalf("filter comp = %d, want 2", len(got))
+	}
+	if got := Filter(evs, "nothing"); len(got) != 0 {
+		t.Fatal("filter should return empty for no match")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	e := runEngine(t)
+	lo, hi := Span(Collect(e))
+	if lo != 0 || hi != 3 {
+		t.Fatalf("span = [%v, %v], want [0, 3]", lo, hi)
+	}
+	if lo, hi := Span(nil); lo != 0 || hi != 0 {
+		t.Fatal("empty span should be zero")
+	}
+}
+
+func TestTimelineRendersLanes(t *testing.T) {
+	e := runEngine(t)
+	var sb strings.Builder
+	Timeline(&sb, Collect(e), []int{0, 1}, 60)
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("compute lane missing")
+	}
+	if !strings.Contains(out, "~") {
+		t.Fatal("inter-comm lane missing")
+	}
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Fatalf("rank labels missing:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	Timeline(&sb, nil, []int{0}, 40)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Fatal("empty timeline should say so")
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := runEngine(t)
+	sts := Stats(Collect(e))
+	byKind := map[sim.Kind]RoundStats{}
+	for _, st := range sts {
+		byKind[st.Kind] = st
+	}
+	comp := byKind[sim.KindCompute]
+	if comp.Count != 2 || !sim.AlmostEqual(comp.Total, 2) || !sim.AlmostEqual(comp.Mean, 1) {
+		t.Fatalf("compute stats = %+v", comp)
+	}
+	inter := byKind[sim.KindInterComm]
+	if inter.Count != 1 || !sim.AlmostEqual(inter.Max, 2) {
+		t.Fatalf("inter stats = %+v", inter)
+	}
+	var sb strings.Builder
+	WriteStats(&sb, Collect(e))
+	if !strings.Contains(sb.String(), "compute") {
+		t.Fatal("WriteStats missing compute row")
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates synthetic variable-length batches matching
+// the sequence-length distributions of the paper's datasets (Table 2 and
+// Fig. 1). The paper itself evaluates on synthetic batches sampled from
+// these published distributions ("Synthetic datasets are generated to
+// match the length distributions of these benchmarks"), so the generator
+// here reproduces the paper's actual workload, not an approximation of it.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zeppelin/internal/seq"
+)
+
+// Bin is a sequence-length bucket [Lo, Hi) in tokens.
+type Bin struct{ Lo, Hi int }
+
+// Bins are the nine buckets of Table 2 (lengths in thousands of tokens):
+// <1, 1–2, 2–4, 4–8, 8–16, 16–32, 32–64, 64–128, 128–256.
+var Bins = []Bin{
+	{1, 1 << 10}, {1 << 10, 2 << 10}, {2 << 10, 4 << 10}, {4 << 10, 8 << 10},
+	{8 << 10, 16 << 10}, {16 << 10, 32 << 10}, {32 << 10, 64 << 10},
+	{64 << 10, 128 << 10}, {128 << 10, 256 << 10},
+}
+
+// BinLabels are display names matching the paper's axis labels.
+var BinLabels = []string{"<1k", "1-2k", "2-4k", "4-8k", "8-16k", "16-32k", "32-64k", "64-128k", "128-256k"}
+
+// Dataset is a named distribution over the length bins. Probs are treated
+// as weights and normalized when sampling: the paper's own Table 2 rows do
+// not sum exactly to 1 (GitHub sums to 0.945 due to rounding), and we keep
+// the published values verbatim.
+type Dataset struct {
+	Name  string
+	Probs []float64 // one weight per Bin
+}
+
+func (d Dataset) probSum() float64 {
+	var sum float64
+	for _, p := range d.Probs {
+		sum += p
+	}
+	return sum
+}
+
+// The three evaluation datasets, with bin proportions copied from Table 2.
+var (
+	ArXiv = Dataset{"arxiv", []float64{0.032, 0.03, 0.08, 0.219, 0.338, 0.224, 0.077, 0, 0}}
+	// GitHub is long-tailed with sequences beyond 64k.
+	GitHub = Dataset{"github", []float64{0, 0.34, 0.095, 0.104, 0.107, 0.102, 0.088, 0.064, 0.045}}
+	// ProLong64k is bimodal: many short sequences plus a heavy 32–64k mode.
+	ProLong64k = Dataset{"prolong64k", []float64{0.231, 0.042, 0.021, 0.012, 0.013, 0.008, 0.673, 0, 0}}
+)
+
+// Fig. 1 companion datasets. Table 2 does not list these; the proportions
+// follow the visual shape of Fig. 1 (web corpora are heavily short-tailed,
+// StackExchange most of all).
+var (
+	FineWeb       = Dataset{"fineweb", []float64{0.62, 0.20, 0.10, 0.05, 0.02, 0.008, 0.002, 0, 0}}
+	FineWebEdu    = Dataset{"fineweb_edu", []float64{0.55, 0.24, 0.12, 0.06, 0.02, 0.008, 0.002, 0, 0}}
+	OpenWebMath   = Dataset{"openwebmath", []float64{0.45, 0.25, 0.17, 0.09, 0.03, 0.008, 0.002, 0, 0}}
+	StackExchange = Dataset{"stackexchange", []float64{0.78, 0.15, 0.05, 0.015, 0.004, 0.001, 0, 0, 0}}
+)
+
+// All lists every defined dataset (Fig. 1 order).
+var All = []Dataset{ArXiv, GitHub, FineWeb, FineWebEdu, OpenWebMath, StackExchange, ProLong64k}
+
+// Eval lists the three end-to-end evaluation datasets (Fig. 8 order).
+var Eval = []Dataset{ArXiv, GitHub, ProLong64k}
+
+// ByName looks up a dataset.
+func ByName(name string) (Dataset, error) {
+	for _, d := range All {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Validate checks the distribution is well-formed.
+func (d Dataset) Validate() error {
+	if len(d.Probs) != len(Bins) {
+		return fmt.Errorf("workload %s: %d bins, want %d", d.Name, len(d.Probs), len(Bins))
+	}
+	for i, p := range d.Probs {
+		if p < 0 {
+			return fmt.Errorf("workload %s: negative probability in bin %d", d.Name, i)
+		}
+	}
+	// Accept the paper's rounded rows (GitHub sums to 0.945 in Table 2).
+	if sum := d.probSum(); sum < 0.9 || sum > 1.01 {
+		return fmt.Errorf("workload %s: probabilities sum to %v, want ~1", d.Name, sum)
+	}
+	return nil
+}
+
+// MeanLen returns the expected sequence length (bin midpoints, weights
+// normalized).
+func (d Dataset) MeanLen() float64 {
+	var mean float64
+	for i, p := range d.Probs {
+		mean += p * float64(Bins[i].Lo+Bins[i].Hi) / 2
+	}
+	return mean / d.probSum()
+}
+
+// SampleLen draws one sequence length: a bin by normalized probability,
+// then a uniform length within the bin.
+func (d Dataset) SampleLen(rng *rand.Rand) int {
+	u := rng.Float64() * d.probSum()
+	var acc float64
+	for i, p := range d.Probs {
+		acc += p
+		if u < acc {
+			b := Bins[i]
+			return b.Lo + rng.Intn(b.Hi-b.Lo)
+		}
+	}
+	// Rounding tail: fall into the last non-zero bin.
+	for i := len(d.Probs) - 1; i >= 0; i-- {
+		if d.Probs[i] > 0 {
+			b := Bins[i]
+			return b.Lo + rng.Intn(b.Hi-b.Lo)
+		}
+	}
+	return 1
+}
+
+// BinOf returns the bin index of a length, or -1 if out of range.
+func BinOf(length int) int {
+	for i, b := range Bins {
+		if length >= b.Lo && length < b.Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// Batch builds a batch whose lengths are sampled from the dataset and
+// whose total token count is exactly totalTokens (the paper fixes the
+// global context budget to 4k tokens × #GPUs). The last sequence is
+// clamped to the remaining budget; a trailing remnant shorter than 16
+// tokens is merged into its predecessor to avoid degenerate sequences.
+func (d Dataset) Batch(totalTokens int, rng *rand.Rand) []seq.Sequence {
+	if totalTokens <= 0 {
+		return nil
+	}
+	var out []seq.Sequence
+	remaining := totalTokens
+	id := 0
+	for remaining > 0 {
+		l := d.SampleLen(rng)
+		if l > remaining {
+			l = remaining
+		}
+		if remaining-l < 16 && remaining-l > 0 {
+			l = remaining
+		}
+		out = append(out, seq.Sequence{ID: id, Len: l})
+		id++
+		remaining -= l
+	}
+	return out
+}
+
+// SkewedBatch reproduces the "Skewed" distribution of Table 3: one very
+// long sequence consuming most of the budget plus several short ones.
+func SkewedBatch(totalTokens int, rng *rand.Rand) []seq.Sequence {
+	long := totalTokens * 7 / 8
+	out := []seq.Sequence{{ID: 0, Len: long}}
+	remaining := totalTokens - long
+	id := 1
+	for remaining > 0 {
+		l := 512 + rng.Intn(3584)
+		if l > remaining {
+			l = remaining
+		}
+		out = append(out, seq.Sequence{ID: id, Len: l})
+		id++
+		remaining -= l
+	}
+	return out
+}
+
+// BalancedBatch reproduces the "Balanced" distribution of Table 3: it
+// cycles through the non-empty bins of the ArXiv row, drawing one sample
+// from each, until the token budget is filled (last sequence clamped).
+// Every length stays inside its bin, so no artificial outlier appears.
+func BalancedBatch(totalTokens int, rng *rand.Rand) []seq.Sequence {
+	var bins []Bin
+	for i, p := range ArXiv.Probs {
+		if p > 0 {
+			bins = append(bins, Bins[i])
+		}
+	}
+	var out []seq.Sequence
+	remaining := totalTokens
+	for i := 0; remaining > 0; i++ {
+		b := bins[i%len(bins)]
+		l := b.Lo + rng.Intn(b.Hi-b.Lo)
+		if l > remaining {
+			l = remaining
+		}
+		if remaining-l < 16 && remaining-l > 0 {
+			l = remaining
+		}
+		out = append(out, seq.Sequence{ID: i, Len: l})
+		remaining -= l
+	}
+	return out
+}
+
+// BinHistogram returns the fraction of *tokens* falling into each bin for
+// a batch — the quantity Fig. 1 plots.
+func BinHistogram(batch []seq.Sequence) []float64 {
+	out := make([]float64, len(Bins))
+	var total float64
+	for _, s := range batch {
+		if i := BinOf(s.Len); i >= 0 {
+			out[i] += float64(s.Len)
+			total += float64(s.Len)
+		}
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zeppelin/internal/seq"
+)
+
+func TestAllDatasetsValidate(t *testing.T) {
+	for _, d := range All {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, d := range All {
+		got, err := ByName(d.Name)
+		if err != nil || got.Name != d.Name {
+			t.Fatalf("ByName(%q) = %v, %v", d.Name, got, err)
+		}
+	}
+	if _, err := ByName("c4"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestValidateCatchesBadDistributions(t *testing.T) {
+	bad := []Dataset{
+		{"short", []float64{1}},
+		{"neg", []float64{-0.1, 1.1, 0, 0, 0, 0, 0, 0, 0}},
+		{"sum", []float64{0.1, 0.1, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("%s should fail validation", d.Name)
+		}
+	}
+}
+
+func TestTable2Proportions(t *testing.T) {
+	// Spot-check values copied from Table 2.
+	if ArXiv.Probs[4] != 0.338 {
+		t.Fatalf("arxiv 8-16k = %v, want 0.338", ArXiv.Probs[4])
+	}
+	if GitHub.Probs[8] != 0.045 {
+		t.Fatalf("github 128-256k = %v, want 0.045", GitHub.Probs[8])
+	}
+	if ProLong64k.Probs[6] != 0.673 {
+		t.Fatalf("prolong 32-64k = %v, want 0.673", ProLong64k.Probs[6])
+	}
+}
+
+func TestSampleLenInDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(Bins))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l := ArXiv.SampleLen(rng)
+		b := BinOf(l)
+		if b < 0 {
+			t.Fatalf("sampled length %d outside bins", l)
+		}
+		counts[b]++
+	}
+	for i, p := range ArXiv.Probs {
+		got := float64(counts[i]) / n
+		if p == 0 && got > 0 {
+			t.Fatalf("bin %d has probability 0 but samples appeared", i)
+		}
+		if p > 0.05 && (got < p*0.8 || got > p*1.2) {
+			t.Fatalf("bin %d: sampled fraction %.3f, want ~%.3f", i, got, p)
+		}
+	}
+}
+
+func TestMeanLenOrdering(t *testing.T) {
+	// GitHub's long tail should give it a larger mean than StackExchange.
+	if GitHub.MeanLen() <= StackExchange.MeanLen() {
+		t.Fatalf("github mean %v should exceed stackexchange mean %v",
+			GitHub.MeanLen(), StackExchange.MeanLen())
+	}
+}
+
+func TestBatchExactBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, budget := range []int{65536, 131072, 262144} {
+		b := ArXiv.Batch(budget, rng)
+		if got := seq.TotalLen(b); got != budget {
+			t.Fatalf("batch tokens = %d, want %d", got, budget)
+		}
+		for i, s := range b {
+			if s.Len <= 0 {
+				t.Fatalf("sequence %d has non-positive length", i)
+			}
+			if s.ID != i {
+				t.Fatalf("IDs must be dense, got %d at %d", s.ID, i)
+			}
+		}
+	}
+	if ArXiv.Batch(0, rng) != nil {
+		t.Fatal("zero budget should give empty batch")
+	}
+}
+
+func TestSkewedBatchShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := SkewedBatch(131072, rng)
+	if seq.TotalLen(b) != 131072 {
+		t.Fatalf("skewed batch tokens = %d", seq.TotalLen(b))
+	}
+	if b[0].Len < 131072/2 {
+		t.Fatal("skewed batch should start with one dominant sequence")
+	}
+	if len(b) < 3 {
+		t.Fatal("skewed batch should include several short sequences")
+	}
+}
+
+func TestBalancedBatchShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := BalancedBatch(131072, rng)
+	if seq.TotalLen(b) != 131072 {
+		t.Fatalf("balanced batch tokens = %d", seq.TotalLen(b))
+	}
+	// At least one full cycle over the 7 non-empty ArXiv bins.
+	if len(b) < 7 {
+		t.Fatalf("balanced batch has %d sequences, want >= 7", len(b))
+	}
+	// No sequence may exceed the largest non-empty ArXiv bin (32-64k).
+	for _, s := range b {
+		if s.Len >= 64<<10 {
+			t.Fatalf("balanced batch has outlier of %d tokens", s.Len)
+		}
+	}
+}
+
+func TestBinHistogram(t *testing.T) {
+	batch := []seq.Sequence{{ID: 0, Len: 512}, {ID: 1, Len: 512}, {ID: 2, Len: 3072}}
+	h := BinHistogram(batch)
+	if h[0] != 0.25 {
+		t.Fatalf("<1k token share = %v, want 0.25", h[0])
+	}
+	if h[2] != 0.75 {
+		t.Fatalf("2-4k token share = %v, want 0.75", h[2])
+	}
+	if got := BinHistogram(nil); len(got) != len(Bins) {
+		t.Fatal("empty histogram should still have all bins")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	if BinOf(0) != -1 || BinOf(1<<20) != -1 {
+		t.Fatal("out-of-range lengths should map to -1")
+	}
+	if BinOf(1) != 0 || BinOf(1023) != 0 || BinOf(1024) != 1 {
+		t.Fatal("bin boundaries wrong")
+	}
+}
+
+// Property: every batch conserves its budget exactly and IDs are dense,
+// for any dataset and any budget.
+func TestPropertyBatchConservation(t *testing.T) {
+	f := func(seed int64, which uint8, budget uint32) bool {
+		d := All[int(which)%len(All)]
+		tot := int(budget%1000000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := d.Batch(tot, rng)
+		if seq.TotalLen(b) != tot {
+			return false
+		}
+		for i, s := range b {
+			if s.ID != i || s.Len <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

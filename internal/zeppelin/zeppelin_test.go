@@ -1,0 +1,245 @@
+// End-to-end shape tests: these assert the paper's qualitative results —
+// who wins, in what order, and where the crossovers fall — across the
+// method matrix. They are the reproduction's primary regression net.
+package zeppelin
+
+import (
+	"testing"
+
+	"zeppelin/internal/baselines"
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/model"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+)
+
+func run(t *testing.T, cfg trainer.Config, d workload.Dataset, m trainer.Method) *trainer.Result {
+	t.Helper()
+	batch := cfg.Batch(d.Batch)
+	res, err := trainer.Run(cfg, m, batch)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return res
+}
+
+func cfgFor(mc model.Config, spec cluster.Spec, nodes, tp int) trainer.Config {
+	return trainer.Config{Model: mc, Spec: spec, Nodes: nodes, TP: tp, Seed: 7}
+}
+
+// Fig. 8 headline: Zeppelin outperforms all baselines on every dense
+// dataset/scale combination we test.
+func TestZeppelinWinsAcrossDenseMatrix(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		for _, d := range workload.Eval {
+			cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, nodes, 1)
+			z := run(t, cfg, d, Full())
+			for _, m := range []trainer.Method{baselines.TECP{}, baselines.LLaMACP{}, baselines.HybridDP{}} {
+				b := run(t, cfg, d, m)
+				if z.TokensPerSec < b.TokensPerSec*0.99 {
+					t.Errorf("%d nodes, %s: Zeppelin %.0f tok/s loses to %s %.0f",
+						nodes, d.Name, z.TokensPerSec, m.Name(), b.TokensPerSec)
+				}
+			}
+		}
+	}
+}
+
+// Fig. 8 magnitudes: the Zeppelin/TE speedup should land in the paper's
+// band (roughly 1.8–5x for dense 7B at these scales) and grow with scale.
+func TestSpeedupMagnitudeAndScaling(t *testing.T) {
+	ratios := map[int]float64{}
+	for _, nodes := range []int{2, 4} {
+		cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, nodes, 1)
+		z := run(t, cfg, workload.ArXiv, Full())
+		te := run(t, cfg, workload.ArXiv, baselines.TECP{})
+		ratios[nodes] = z.TokensPerSec / te.TokensPerSec
+	}
+	if ratios[2] < 1.8 || ratios[2] > 4.5 {
+		t.Errorf("16-GPU ArXiv speedup %.2fx outside the plausible band (paper: 2.59x)", ratios[2])
+	}
+	if ratios[4] <= ratios[2] {
+		t.Errorf("speedup should grow with scale: %.2fx @16 GPUs vs %.2fx @32", ratios[2], ratios[4])
+	}
+}
+
+// Fig. 8 ordering on ArXiv (balanced lengths): Zeppelin > Hybrid DP >
+// LLaMA CP > TE CP.
+func TestMethodOrderingOnArXiv(t *testing.T) {
+	cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, 2, 1)
+	z := run(t, cfg, workload.ArXiv, Full())
+	hy := run(t, cfg, workload.ArXiv, baselines.HybridDP{})
+	ll := run(t, cfg, workload.ArXiv, baselines.LLaMACP{})
+	te := run(t, cfg, workload.ArXiv, baselines.TECP{})
+	if !(z.TokensPerSec > hy.TokensPerSec && hy.TokensPerSec > ll.TokensPerSec && ll.TokensPerSec > te.TokensPerSec) {
+		t.Errorf("ArXiv ordering wrong: Z=%.0f Hybrid=%.0f LLaMA=%.0f TE=%.0f",
+			z.TokensPerSec, hy.TokensPerSec, ll.TokensPerSec, te.TokensPerSec)
+	}
+}
+
+// On long-sequence-dominated ProLong64k, Hybrid DP loses its edge (the
+// long sequence occupies all ranks) and LLaMA CP overtakes it, per §5.1.
+func TestProlongCrossoverHybridWeak(t *testing.T) {
+	cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, 2, 1)
+	hy := run(t, cfg, workload.ProLong64k, baselines.HybridDP{})
+	ll := run(t, cfg, workload.ProLong64k, baselines.LLaMACP{})
+	if hy.TokensPerSec > ll.TokensPerSec {
+		t.Errorf("on ProLong64k LLaMA CP should beat Hybrid DP: %.0f vs %.0f",
+			ll.TokensPerSec, hy.TokensPerSec)
+	}
+}
+
+// MoE compresses speedups (the expert all-to-all is method-independent)
+// — §5.1: MoE margins are far smaller than dense margins.
+func TestMoECompressesSpeedups(t *testing.T) {
+	cfgD := cfgFor(model.LLaMA7B, cluster.ClusterA, 2, 1)
+	cfgM := cfgFor(model.MoE8x550M, cluster.ClusterA, 2, 1)
+	dz := run(t, cfgD, workload.ArXiv, Full())
+	dte := run(t, cfgD, workload.ArXiv, baselines.TECP{})
+	mz := run(t, cfgM, workload.ArXiv, Full())
+	mte := run(t, cfgM, workload.ArXiv, baselines.TECP{})
+	dense := dz.TokensPerSec / dte.TokensPerSec
+	moe := mz.TokensPerSec / mte.TokensPerSec
+	if moe >= dense {
+		t.Errorf("MoE speedup %.2fx should be below dense %.2fx", moe, dense)
+	}
+}
+
+// Fig. 11 ablation: every added component helps, in the paper's order —
+// TE < TE+Routing < AttnEngine < AttnEngine+Routing <= Full Zeppelin.
+// GitHub is used for the routing-delta assertions because its 64k+
+// sequences guarantee inter-node rings in every batch.
+func TestAblationOrdering(t *testing.T) {
+	cfg := cfgFor(model.LLaMA3B, cluster.ClusterA, 4, 1) // 32 GPUs as in Fig. 11
+	d := workload.GitHub
+	te := run(t, cfg, d, baselines.TECP{})
+	routed := run(t, cfg, d, baselines.TECP{Routed: true})
+	attnEng := run(t, cfg, d, Method{})
+	both := run(t, cfg, d, Method{Routing: true})
+	full := run(t, cfg, d, Full())
+
+	if routed.TokensPerSec <= te.TokensPerSec {
+		t.Errorf("routing alone should speed up TE: %.0f vs %.0f", routed.TokensPerSec, te.TokensPerSec)
+	}
+	ratio := routed.TokensPerSec / te.TokensPerSec
+	if ratio < 1.15 || ratio > 2.6 {
+		t.Errorf("routing-only speedup %.2fx far from the paper's ~1.6x", ratio)
+	}
+	if attnEng.TokensPerSec <= te.TokensPerSec {
+		t.Errorf("attention engine alone should beat TE")
+	}
+	if both.TokensPerSec <= attnEng.TokensPerSec {
+		t.Errorf("adding routing to the engine should help: %.0f vs %.0f",
+			both.TokensPerSec, attnEng.TokensPerSec)
+	}
+	if full.TokensPerSec < both.TokensPerSec*0.98 {
+		t.Errorf("remapping should not hurt: %.0f vs %.0f", full.TokensPerSec, both.TokensPerSec)
+	}
+}
+
+// Fig. 10: Cluster B (faster GPUs) gives higher absolute throughput, while
+// the relative Zeppelin speedup is larger on Cluster A (higher
+// computation-to-communication ratio — §5.2).
+func TestClusterABComparison(t *testing.T) {
+	cfgA := cfgFor(model.LLaMA3B, cluster.ClusterA, 4, 1)
+	cfgB := cfgFor(model.LLaMA3B, cluster.ClusterB, 4, 1)
+	zA := run(t, cfgA, workload.ArXiv, Full())
+	zB := run(t, cfgB, workload.ArXiv, Full())
+	teA := run(t, cfgA, workload.ArXiv, baselines.TECP{})
+	teB := run(t, cfgB, workload.ArXiv, baselines.TECP{})
+	if zB.TokensPerSec <= zA.TokensPerSec {
+		t.Errorf("Hopper-class Cluster B should be absolutely faster: %.0f vs %.0f",
+			zB.TokensPerSec, zA.TokensPerSec)
+	}
+	spA := zA.TokensPerSec / teA.TokensPerSec
+	spB := zB.TokensPerSec / teB.TokensPerSec
+	// Both clusters show clear wins. (Known deviation, see EXPERIMENTS.md:
+	// the paper measures a slightly *smaller* relative speedup on B; our
+	// simulator's B over-credits Hopper compute, inflating spB.)
+	if spA < 1.8 || spB < 1.8 {
+		t.Errorf("speedups too small: A %.2fx, B %.2fx", spA, spB)
+	}
+}
+
+// Fig. 9: TE CP throughput stays nearly flat with scale (ring bottleneck),
+// while Zeppelin scales.
+func TestScalabilityShape(t *testing.T) {
+	var teTP, zTP []float64
+	for _, nodes := range []int{2, 4} {
+		cfg := cfgFor(model.LLaMA3B, cluster.ClusterA, nodes, 1)
+		teTP = append(teTP, run(t, cfg, workload.ArXiv, baselines.TECP{}).TokensPerSec)
+		zTP = append(zTP, run(t, cfg, workload.ArXiv, Full()).TokensPerSec)
+	}
+	if teTP[1] > teTP[0]*1.5 {
+		t.Errorf("TE CP should be nearly flat with scale: %.0f -> %.0f", teTP[0], teTP[1])
+	}
+	if zTP[1] < zTP[0]*1.3 {
+		t.Errorf("Zeppelin should scale: %.0f -> %.0f", zTP[0], zTP[1])
+	}
+}
+
+// TP=2 runs work and produce larger relative gains on Cluster A than the
+// equivalent TP=1 config would suggest (shared-NIC effect, §5.1).
+func TestTensorParallelRuns(t *testing.T) {
+	cfg := cfgFor(model.LLaMA13B, cluster.ClusterA, 2, 2)
+	z := run(t, cfg, workload.ArXiv, Full())
+	te := run(t, cfg, workload.ArXiv, baselines.TECP{})
+	if z.TokensPerSec <= te.TokensPerSec {
+		t.Errorf("Zeppelin should win under TP=2: %.0f vs %.0f", z.TokensPerSec, te.TokensPerSec)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, 2, 1)
+	a := run(t, cfg, workload.GitHub, Full())
+	b := run(t, cfg, workload.GitHub, Full())
+	if a.TokensPerSec != b.TokensPerSec {
+		t.Fatalf("nondeterministic: %v vs %v", a.TokensPerSec, b.TokensPerSec)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	cases := map[string]trainer.Method{
+		"Zeppelin":                       Full(),
+		"Zeppelin w/ Attn Eng":           Method{},
+		"Zeppelin w/ Routing & Attn Eng": Method{Routing: true},
+		"Zeppelin w/ Attn Eng & Remap":   Method{Remap: true},
+	}
+	for want, m := range cases {
+		if m.Name() != want {
+			t.Errorf("name = %q, want %q", m.Name(), want)
+		}
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	cfg := cfgFor(model.LLaMA7B, cluster.ClusterA, 1, 1)
+	if _, err := trainer.Run(cfg, Full(), nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+}
+
+// Table 3 shape: skewed batches cost more end-to-end than balanced ones
+// at equal token budget (the long sequence dominates attention), and
+// remapping communication stays a small fraction of the layer time.
+func TestSkewedVsBalancedCost(t *testing.T) {
+	cfg := cfgFor(model.LLaMA7B, cluster.ClusterC, 4, 1)
+	balRes, err := trainer.Run(cfg, Full(), cfg.Batch(workload.BalancedBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewRes, err := trainer.Run(cfg, Full(), cfg.Batch(workload.SkewedBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewRes.LayerTime <= balRes.LayerTime {
+		t.Errorf("skewed batch should cost more: %.3fms vs %.3fms",
+			skewRes.LayerTime*1e3, balRes.LayerTime*1e3)
+	}
+	for _, r := range []*trainer.Result{balRes, skewRes} {
+		if r.RemapTime > 0.3*r.LayerTime {
+			t.Errorf("remapping time %.3fms too large vs layer %.3fms",
+				r.RemapTime*1e3, r.LayerTime*1e3)
+		}
+	}
+}
