@@ -8,13 +8,16 @@
 package zeppelin_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"zeppelin/internal/baselines"
 	"zeppelin/internal/cluster"
 	"zeppelin/internal/experiments"
 	"zeppelin/internal/model"
+	"zeppelin/internal/runner"
 	"zeppelin/internal/trainer"
 	"zeppelin/internal/workload"
 	zep "zeppelin/internal/zeppelin"
@@ -183,6 +186,53 @@ func capName(cf float64) string {
 		return "L=4.00x"
 	}
 }
+
+// ---------------------------------------------------------------------
+// Runner engine: the same (dataset × method × seed) grid executed on one
+// worker vs the full pool. The parallel variant's ns/op over the serial
+// one is the engine's wall-clock speedup; results are bit-identical.
+// ---------------------------------------------------------------------
+
+func runnerGrid() []runner.Job {
+	var jobs []runner.Job
+	for _, d := range workload.Eval {
+		for mi, m := range experiments.Methods() {
+			for s := 0; s < 2; s++ {
+				jobs = append(jobs, runner.Job{
+					Key: fmt.Sprintf("%s/m%d/s%d", d.Name, mi, s),
+					Config: trainer.Config{
+						Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2,
+						TokensPerGPU: 4096, Seed: int64(1000 + 37*s),
+					},
+					Method:      m,
+					Sample:      d.Batch,
+					SamplerName: d.Name,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+func runnerBench(b *testing.B, workers int) {
+	jobs := runnerGrid()
+	b.ReportMetric(float64(len(jobs)), "jobs")
+	for i := 0; i < b.N; i++ {
+		// A fresh engine each iteration: the memo cache would otherwise
+		// turn every iteration after the first into pure cache hits.
+		eng := runner.New(runner.Options{Workers: workers})
+		rs, err := eng.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Executed != len(jobs) {
+			b.Fatalf("executed %d of %d jobs", rs.Executed, len(jobs))
+		}
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B)   { runnerBench(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { runnerBench(b, runtime.GOMAXPROCS(0)) }
 
 // Core-loop micro-benchmarks: partitioner and remapping solver costs,
 // the "Sequence Partition" row of Table 3.

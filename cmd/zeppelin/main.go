@@ -3,25 +3,35 @@
 //
 // Usage:
 //
-//	zeppelin [-seeds N] <experiment>
+//	zeppelin [-seeds N] [-workers N] [-json] <experiment>
 //
 // where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
 // fig10, fig11, fig12, table3, all.
+//
+// -workers bounds the concurrent simulation pool (default GOMAXPROCS);
+// results are bit-identical for every worker count. -json emits the
+// experiment's structured results as a JSON artifact instead of the
+// paper-style text rendering.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"zeppelin/internal/experiments"
+	"zeppelin/internal/runner"
+	"zeppelin/internal/workload"
 )
 
 func main() {
 	seeds := flag.Int("seeds", 3, "independently sampled batches averaged per cell")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (default GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit structured results as JSON instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: zeppelin [-seeds N] <fig1|table2|fig3|fig5|fig8|fig9|fig10|fig11|fig12|table3|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: zeppelin [-seeds N] [-workers N] [-json] <fig1|table2|fig3|fig5|fig8|fig9|fig10|fig11|fig12|table3|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -29,28 +39,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := experiments.Options{Seeds: *seeds}
-	if err := dispatch(os.Stdout, flag.Arg(0), opts); err != nil {
+	// One engine serves every figure of the invocation, so cells shared
+	// between figures (`all` has several) simulate once.
+	opts := experiments.Options{
+		Seeds:   *seeds,
+		Workers: *workers,
+		Engine:  runner.New(runner.Options{Workers: *workers}),
+	}
+	var err error
+	if *jsonOut {
+		err = dispatchJSON(os.Stdout, flag.Arg(0), opts)
+	} else {
+		err = dispatch(os.Stdout, flag.Arg(0), opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "zeppelin:", err)
 		os.Exit(1)
 	}
 }
 
+// experimentOrder is the `all` sequence, in paper order.
+var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "table3"}
+
 func dispatch(w io.Writer, name string, opts experiments.Options) error {
 	runs := map[string]func(io.Writer, experiments.Options) error{
 		"fig1":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig1(w); return nil },
 		"table2": func(w io.Writer, _ experiments.Options) error { experiments.WriteTable2(w); return nil },
-		"fig3":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig3(w); return nil },
+		"fig3":   func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig3(w, opts) },
 		"fig5":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig5(w); return nil },
 		"fig8":   experiments.WriteFig8,
 		"fig9":   experiments.WriteFig9,
 		"fig10":  experiments.WriteFig10,
 		"fig11":  experiments.WriteFig11,
-		"fig12":  func(w io.Writer, _ experiments.Options) error { return experiments.WriteFig12(w) },
-		"table3": func(w io.Writer, _ experiments.Options) error { return experiments.WriteTable3(w) },
+		"fig12":  func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig12(w, opts) },
+		"table3": func(w io.Writer, opts experiments.Options) error { return writeTable3(w, opts) },
 	}
 	if name == "all" {
-		for _, key := range []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "table3"} {
+		for _, key := range experimentOrder {
 			fmt.Fprintf(w, "\n================ %s ================\n", key)
 			if err := runs[key](w, opts); err != nil {
 				return err
@@ -63,4 +88,70 @@ func dispatch(w io.Writer, name string, opts experiments.Options) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return run(w, opts)
+}
+
+// writeTable3 is WriteTable3 with the invocation's engine plumbed in.
+func writeTable3(w io.Writer, opts experiments.Options) error {
+	cols, err := experiments.Table3Opts(opts)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderTable3(w, cols)
+}
+
+// result computes one experiment's structured result for JSON emission.
+func result(name string, opts experiments.Options) (any, error) {
+	switch name {
+	case "fig1":
+		return experiments.Fig1(), nil
+	case "table2":
+		return workload.Eval, nil
+	case "fig3":
+		return experiments.Fig3All(opts)
+	case "fig5":
+		return experiments.Fig5(), nil
+	case "fig8":
+		return experiments.Fig8(opts)
+	case "fig9":
+		return experiments.Fig9(opts)
+	case "fig10":
+		return experiments.Fig10(opts)
+	case "fig11":
+		return experiments.Fig11(opts)
+	case "fig12":
+		return experiments.Fig12Traces(opts)
+	case "table3":
+		return experiments.Table3Opts(opts)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func dispatchJSON(w io.Writer, name string, opts experiments.Options) error {
+	var payload any
+	if name == "all" {
+		// An ordered array, not a map: encoding/json sorts map keys, which
+		// would emit fig10 before fig3 and defeat the paper ordering.
+		type namedResult struct {
+			Name   string `json:"name"`
+			Result any    `json:"result"`
+		}
+		all := make([]namedResult, 0, len(experimentOrder))
+		for _, key := range experimentOrder {
+			r, err := result(key, opts)
+			if err != nil {
+				return err
+			}
+			all = append(all, namedResult{Name: key, Result: r})
+		}
+		payload = all
+	} else {
+		r, err := result(name, opts)
+		if err != nil {
+			return err
+		}
+		payload = r
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
 }

@@ -18,6 +18,7 @@
 //   - internal/baselines  — TE CP, LLaMA CP, Hybrid DP
 //   - internal/zeppelin   — the assembled system (trainer.Method)
 //   - internal/trainer    — end-to-end iteration simulation
+//   - internal/runner     — concurrent, memoizing experiment engine
 //   - internal/experiments— regenerators for every paper table and figure
 //   - internal/trace      — Fig. 12-style timeline rendering
 //

@@ -1,0 +1,3 @@
+module zeppelin
+
+go 1.22

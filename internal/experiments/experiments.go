@@ -21,12 +21,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"zeppelin/internal/baselines"
 	"zeppelin/internal/cluster"
 	"zeppelin/internal/model"
-	"zeppelin/internal/seq"
+	"zeppelin/internal/runner"
 	"zeppelin/internal/trainer"
 	"zeppelin/internal/workload"
 	"zeppelin/internal/zeppelin"
@@ -34,7 +33,7 @@ import (
 
 // Sampler builds a batch for a token budget; workload.Dataset.Batch,
 // workload.SkewedBatch and workload.BalancedBatch all satisfy it.
-type Sampler func(totalTokens int, rng *rand.Rand) []seq.Sequence
+type Sampler = runner.Sampler
 
 // Methods returns the paper's four compared systems in Fig. 8 order.
 func Methods() []trainer.Method {
@@ -53,11 +52,18 @@ func AllMethods() []trainer.Method {
 	return append([]trainer.Method{baselines.Packing{}}, Methods()...)
 }
 
-// Options control experiment fidelity.
+// Options control experiment fidelity and execution.
 type Options struct {
 	// Seeds is the number of independently sampled batches averaged per
 	// cell (the paper averages training steps 50–150). Default 3.
 	Seeds int
+	// Workers bounds the simulation pool; <= 0 selects GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
+	// Engine, when set, executes the grid instead of a fresh engine —
+	// sharing one engine across figures memoizes cells they have in
+	// common (cmd/zeppelin's `all` does this).
+	Engine *runner.Engine
 }
 
 // normalized returns options with defaults applied.
@@ -66,6 +72,23 @@ func (o Options) normalized() Options {
 		o.Seeds = 3
 	}
 	return o
+}
+
+// engine returns the shared engine or builds one for this grid.
+func (o Options) engine() *runner.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return runner.New(runner.Options{Workers: o.Workers})
+}
+
+// workers is the effective pool bound: a shared engine's resolved size
+// wins so every fan-out in a figure honors the same cap.
+func (o Options) workers() int {
+	if o.Engine != nil {
+		return o.Engine.Workers()
+	}
+	return o.Workers
 }
 
 // Cell identifies one throughput measurement configuration.
@@ -89,23 +112,73 @@ func (c Cell) Config(seed int64) trainer.Config {
 	}
 }
 
-// MeanThroughput runs a method on `seeds` independently sampled batches
-// and returns the average tokens/second.
-func MeanThroughput(cell Cell, sample Sampler, m trainer.Method, seeds int) (float64, error) {
+// seedValue is the per-seed RNG base every figure has always used; keep
+// it stable so regenerated numbers match earlier revisions.
+func seedValue(s int) int64 { return int64(1000 + 37*s) }
+
+// grid accumulates the (cell × method × seed) jobs of one figure and
+// remembers which job keys average into which reported mean.
+type grid struct {
+	jobs   []runner.Job
+	groups map[string][]string
+}
+
+// add registers `seeds` jobs for one (cell, sampler, method) mean under
+// a group key. The sampler name feeds the runner's memo hash, so the
+// same cell appearing in two figures simulates once per engine.
+func (g *grid) add(group string, cell Cell, sample Sampler, samplerName string, m trainer.Method, seeds int) {
 	if seeds <= 0 {
 		seeds = 1
 	}
-	var sum float64
-	for s := 0; s < seeds; s++ {
-		cfg := cell.Config(int64(1000 + 37*s))
-		batch := cfg.Batch(sample)
-		res, err := trainer.Run(cfg, m, batch)
-		if err != nil {
-			return 0, err
-		}
-		sum += res.TokensPerSec
+	if g.groups == nil {
+		g.groups = make(map[string][]string)
 	}
-	return sum / float64(seeds), nil
+	for s := 0; s < seeds; s++ {
+		key := fmt.Sprintf("%s/s%d", group, s)
+		g.jobs = append(g.jobs, runner.Job{
+			Key:         key,
+			Config:      cell.Config(seedValue(s)),
+			Method:      m,
+			Sample:      sample,
+			SamplerName: samplerName,
+		})
+		g.groups[group] = append(g.groups[group], key)
+	}
+}
+
+// run executes the grid and returns per-group seed-averaged throughput.
+// A group key that did not resolve to a result is an error, so drift
+// between a figure's grid-build loop and its readback loop fails loudly
+// instead of publishing zeros.
+func (g *grid) run(eng *runner.Engine) (map[string]float64, error) {
+	rs, err := eng.Run(g.jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(g.groups))
+	for group, keys := range g.groups {
+		for _, k := range keys {
+			if rs.Get(k) == nil {
+				return nil, fmt.Errorf("experiments: group %q: no result for job %q", group, k)
+			}
+		}
+		out[group] = rs.MeanTokensPerSec(keys...)
+	}
+	return out, nil
+}
+
+// MeanThroughput runs a method on `seeds` independently sampled batches
+// and returns the average tokens/second. It is the single-cell
+// convenience wrapper over the runner; figures submit whole grids
+// instead so cells fan out across the pool.
+func MeanThroughput(cell Cell, sample Sampler, m trainer.Method, seeds int) (float64, error) {
+	var g grid
+	g.add("cell", cell, sample, "", m, seeds)
+	means, err := g.run(runner.New(runner.Options{Workers: 1}))
+	if err != nil {
+		return 0, err
+	}
+	return means["cell"], nil
 }
 
 // fmtK renders a token count as the paper writes context lengths (64k).

@@ -206,7 +206,7 @@ func TestWriteFunctionsProduceOutput(t *testing.T) {
 	if err := WriteTable3(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFig12(&sb); err != nil {
+	if err := WriteFig12(&sb, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

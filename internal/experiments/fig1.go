@@ -19,7 +19,9 @@ type Fig1Result struct {
 
 // Fig1 reproduces the dataset length-distribution figure: for each of the
 // seven datasets it reports the per-bin proportions and verifies them by
-// sampling a large synthetic batch.
+// sampling a large synthetic batch. The datasets deliberately consume one
+// shared RNG stream in order — parallelizing this would change the
+// published histograms.
 func Fig1() []Fig1Result {
 	var out []Fig1Result
 	rng := rand.New(rand.NewSource(1))
@@ -45,13 +47,14 @@ func Fig1() []Fig1Result {
 
 // WriteFig1 renders the distributions as rows of per-bin percentages.
 func WriteFig1(w io.Writer) {
+	results := Fig1()
 	fmt.Fprintln(w, "Figure 1: sequence length distribution per dataset")
 	fmt.Fprintf(w, "%-14s", "dataset")
 	for _, l := range workload.BinLabels {
 		fmt.Fprintf(w, "%9s", l)
 	}
 	fmt.Fprintf(w, "%10s\n", "mean len")
-	for _, r := range Fig1() {
+	for _, r := range results {
 		fmt.Fprintf(w, "%-14s", r.Dataset)
 		for _, p := range r.SeqProps {
 			fmt.Fprintf(w, "%8.1f%%", 100*p)
@@ -59,7 +62,7 @@ func WriteFig1(w io.Writer) {
 		fmt.Fprintf(w, "%10.0f\n", r.MeanLength)
 	}
 	fmt.Fprintln(w, "\ntoken-mass share of each bin (sampled, 8M tokens):")
-	for _, r := range Fig1() {
+	for _, r := range results {
 		fmt.Fprintf(w, "%-14s", r.Dataset)
 		for _, p := range r.TokenHist {
 			fmt.Fprintf(w, "%8.1f%%", 100*p)

@@ -20,21 +20,32 @@ type Fig10Row struct {
 // context on 32 GPUs, reproducing the GPU–NIC-affinity comparison.
 func Fig10(opts Options) ([]Fig10Row, error) {
 	opts = opts.normalized()
-	var out []Fig10Row
+	var g grid
+	key := func(clusterName, dataset, method string) string {
+		return fmt.Sprintf("fig10/%s/%s/%s", clusterName, dataset, method)
+	}
 	for _, spec := range []cluster.Spec{cluster.ClusterA, cluster.ClusterB} {
 		for _, d := range evalDatasets() {
 			cell := Cell{
 				Model: model.LLaMA3B, Spec: spec, Nodes: 4, TP: 1,
 				TokensPerGPU: (128 << 10) / 32,
 			}
+			for _, m := range Methods() {
+				g.add(key(spec.Name, d.Name, m.Name()), cell, d.Batch, d.Name, m, opts.Seeds)
+			}
+		}
+	}
+	means, err := g.run(opts.engine())
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	var out []Fig10Row
+	for _, spec := range []cluster.Spec{cluster.ClusterA, cluster.ClusterB} {
+		for _, d := range evalDatasets() {
 			row := Fig10Row{Cluster: spec.Name, Dataset: d.Name}
 			for _, m := range Methods() {
-				tp, err := MeanThroughput(cell, d.Batch, m, opts.Seeds)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s/%s/%s: %w", spec.Name, d.Name, m.Name(), err)
-				}
 				row.Methods = append(row.Methods, m.Name())
-				row.Tput = append(row.Tput, tp)
+				row.Tput = append(row.Tput, means[key(spec.Name, d.Name, m.Name())])
 			}
 			out = append(out, row)
 		}

@@ -36,20 +36,31 @@ type Fig11Row struct {
 	Tput    []float64
 }
 
-// Fig11 runs the component ablation: 3B model, 32 GPUs, Cluster A.
+// Fig11 runs the component ablation: 3B model, 32 GPUs, Cluster A. The
+// variant labels key the grid (several variants share a display name, so
+// Method.Name() would collide).
 func Fig11(opts Options) ([]Fig11Row, error) {
 	opts = opts.normalized()
 	cell := Cell{Model: model.LLaMA3B, Spec: cluster.ClusterA, Nodes: 4, TP: 1, TokensPerGPU: 4096}
+	var g grid
+	key := func(dataset, label string) string {
+		return fmt.Sprintf("fig11/%s/%s", dataset, label)
+	}
+	for _, d := range evalDatasets() {
+		for _, v := range Fig11Variants() {
+			g.add(key(d.Name, v.Label), cell, d.Batch, d.Name, v.Method, opts.Seeds)
+		}
+	}
+	means, err := g.run(opts.engine())
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
 	var out []Fig11Row
 	for _, d := range evalDatasets() {
 		row := Fig11Row{Dataset: d.Name}
 		for _, v := range Fig11Variants() {
-			tp, err := MeanThroughput(cell, d.Batch, v.Method, opts.Seeds)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s: %w", d.Name, v.Label, err)
-			}
 			row.Labels = append(row.Labels, v.Label)
-			row.Tput = append(row.Tput, tp)
+			row.Tput = append(row.Tput, means[key(d.Name, v.Label)])
 		}
 		out = append(out, row)
 	}

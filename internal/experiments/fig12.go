@@ -7,6 +7,7 @@ import (
 	"zeppelin/internal/baselines"
 	"zeppelin/internal/cluster"
 	"zeppelin/internal/model"
+	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 	"zeppelin/internal/trace"
 	"zeppelin/internal/trainer"
@@ -60,15 +61,41 @@ func Fig12Trace(sc Fig12Scenario) ([]trace.Event, error) {
 	return trace.Collect(env.E), nil
 }
 
-// WriteFig12 renders all three timelines with per-kind round statistics.
-func WriteFig12(w io.Writer) error {
-	fmt.Fprintln(w, "Figure 12: attention fwd+bwd timelines, 3B model, 16 GPUs, 64k context, Cluster A")
-	for _, sc := range Fig12Scenarios() {
-		events, err := Fig12Trace(sc)
+// Fig12Traced pairs a traced scenario with its collected events.
+type Fig12Traced struct {
+	Title  string        `json:"title"`
+	Events []trace.Event `json:"events"`
+}
+
+// Fig12Traces runs all three scenarios — independent simulations, so
+// they fan out bounded by opts.Workers — and returns the traces in
+// scenario order.
+func Fig12Traces(opts Options) ([]Fig12Traced, error) {
+	scenarios := Fig12Scenarios()
+	out := make([]Fig12Traced, len(scenarios))
+	if err := runner.ForEach(opts.workers(), len(scenarios), func(i int) error {
+		events, err := Fig12Trace(scenarios[i])
 		if err != nil {
-			return fmt.Errorf("fig12 %q: %w", sc.Title, err)
+			return fmt.Errorf("fig12 %q: %w", scenarios[i].Title, err)
 		}
-		fmt.Fprintf(w, "\n%s\n", sc.Title)
+		out[i] = Fig12Traced{Title: scenarios[i].Title, Events: events}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFig12 renders all three timelines with per-kind round statistics.
+func WriteFig12(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "Figure 12: attention fwd+bwd timelines, 3B model, 16 GPUs, 64k context, Cluster A")
+	traces, err := Fig12Traces(opts)
+	if err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		events := tr.Events
+		fmt.Fprintf(w, "\n%s\n", tr.Title)
 		trace.Timeline(w, events, []int{0, 8, 12}, 100)
 		fmt.Fprintln(w, "forward phase statistics:")
 		trace.WriteStats(w, trace.Filter(events, "attn-fwd"))

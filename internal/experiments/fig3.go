@@ -8,6 +8,7 @@ import (
 	"zeppelin/internal/cluster"
 	"zeppelin/internal/costmodel"
 	"zeppelin/internal/model"
+	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 	"zeppelin/internal/workload"
 )
@@ -153,24 +154,59 @@ func ShortSeqOverheadShare(r Fig3Result, bin int) float64 {
 	return (b.Comm + b.Redundant) / tot
 }
 
+// Fig3Pair is one dataset's breakdown under both strategies.
+type Fig3Pair struct {
+	Dataset string     `json:"dataset"`
+	Packing Fig3Result `json:"packing"`
+	EvenCP  Fig3Result `json:"even_cp"`
+}
+
+// fig3Batches is the sweep length behind every Fig. 3 rendering.
+const fig3Batches = 50
+
+// Fig3All computes both panels for every Fig. 3 dataset. Each
+// (dataset, strategy) sweep seeds its own RNG, so all sweeps run
+// concurrently — bounded by the options' worker cap — and land in
+// dataset order. The error return mirrors the other regenerators; the
+// current sweeps cannot fail.
+func Fig3All(opts Options) ([]Fig3Pair, error) {
+	n := len(workload.All)
+	out := make([]Fig3Pair, n)
+	if err := runner.ForEach(opts.workers(), 2*n, func(i int) error {
+		d := workload.All[i%n]
+		if i < n {
+			out[i].Dataset = d.Name
+			out[i].Packing = Fig3Packing(d, fig3Batches)
+		} else {
+			out[i-n].EvenCP = Fig3EvenCP(d, fig3Batches)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WriteFig3 renders both panels for every Fig. 3 dataset.
-func WriteFig3(w io.Writer) {
-	const batches = 50
+func WriteFig3(w io.Writer, opts Options) error {
+	pairs, err := Fig3All(opts)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Figure 3a: packing + Ulysses SP — attention cost share per length bin")
 	fmt.Fprintf(w, "%-14s %-9s", "dataset", "")
 	for _, l := range workload.BinLabels[:7] {
 		fmt.Fprintf(w, "%9s", l)
 	}
 	fmt.Fprintln(w)
-	for _, d := range workload.All {
-		r := Fig3Packing(d, batches)
-		writeFig3Rows(w, r, true)
+	for _, p := range pairs {
+		writeFig3Rows(w, p.Packing, true)
 	}
 	fmt.Fprintln(w, "\nFigure 3b: even split + ring CP — attention cost share per length bin")
-	for _, d := range workload.All {
-		r := Fig3EvenCP(d, batches)
-		writeFig3Rows(w, r, false)
+	for _, p := range pairs {
+		writeFig3Rows(w, p.EvenCP, false)
 	}
+	return nil
 }
 
 func writeFig3Rows(w io.Writer, r Fig3Result, redundant bool) {

@@ -44,7 +44,9 @@ func fig8Cells() []Cell {
 	return cells
 }
 
-// Fig8 runs the full end-to-end grid.
+// Fig8 runs the full end-to-end grid: all (panel × dataset × method ×
+// seed) cells are submitted as one job grid and fan out across the
+// runner's worker pool.
 func Fig8(opts Options) ([]Fig8Panel, error) {
 	opts = opts.normalized()
 	methods := Methods()
@@ -52,8 +54,25 @@ func Fig8(opts Options) ([]Fig8Panel, error) {
 	for _, m := range methods {
 		names = append(names, m.Name())
 	}
+	cells := fig8Cells()
+	var g grid
+	key := func(cell Cell, dataset, method string) string {
+		return fmt.Sprintf("fig8/%s/%s/%s/%s",
+			cell.Model.Name, fmtK(cell.TokensPerGPU*cell.Nodes*cell.Spec.GPUsPerNode), dataset, method)
+	}
+	for _, cell := range cells {
+		for _, d := range evalDatasets() {
+			for _, m := range methods {
+				g.add(key(cell, d.Name, m.Name()), cell, d.Batch, d.Name, m, opts.Seeds)
+			}
+		}
+	}
+	means, err := g.run(opts.engine())
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
 	var panels []Fig8Panel
-	for _, cell := range fig8Cells() {
+	for _, cell := range cells {
 		p := Fig8Panel{
 			Model:   cell.Model.Name,
 			Context: cell.TokensPerGPU * cell.Nodes * cell.Spec.GPUsPerNode,
@@ -66,11 +85,7 @@ func Fig8(opts Options) ([]Fig8Panel, error) {
 			p.Datasets = append(p.Datasets, d.Name)
 			row := make([]float64, len(methods))
 			for i, m := range methods {
-				tp, err := MeanThroughput(cell, d.Batch, m, opts.Seeds)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s/%s: %w", cell.Model.Name, d.Name, m.Name(), err)
-				}
-				row[i] = tp
+				row[i] = means[key(cell, d.Name, m.Name())]
 			}
 			p.Tput = append(p.Tput, row)
 		}

@@ -21,24 +21,35 @@ type Fig9Series struct {
 var Fig9GPUCounts = []int{16, 32, 64, 96, 128}
 
 // Fig9 evaluates scalability of the LLaMA 3B model on Cluster A with a
-// fixed 4k tokens per GPU, across 16–128 GPUs.
+// fixed 4k tokens per GPU, across 16–128 GPUs, as one concurrent grid.
 func Fig9(opts Options) ([]Fig9Series, error) {
 	opts = opts.normalized()
-	var out []Fig9Series
+	var g grid
+	key := func(dataset, method string, gpus int) string {
+		return fmt.Sprintf("fig9/%s/%s/%d", dataset, method, gpus)
+	}
 	for _, d := range evalDatasets() {
 		for _, m := range Methods() {
-			s := Fig9Series{Dataset: d.Name, Method: m.Name()}
 			for _, gpus := range Fig9GPUCounts {
 				cell := Cell{
 					Model: model.LLaMA3B, Spec: cluster.ClusterA,
 					Nodes: gpus / 8, TP: 1, TokensPerGPU: 4096,
 				}
-				tp, err := MeanThroughput(cell, d.Batch, m, opts.Seeds)
-				if err != nil {
-					return nil, fmt.Errorf("fig9 %s/%s/%d: %w", d.Name, m.Name(), gpus, err)
-				}
+				g.add(key(d.Name, m.Name(), gpus), cell, d.Batch, d.Name, m, opts.Seeds)
+			}
+		}
+	}
+	means, err := g.run(opts.engine())
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	var out []Fig9Series
+	for _, d := range evalDatasets() {
+		for _, m := range Methods() {
+			s := Fig9Series{Dataset: d.Name, Method: m.Name()}
+			for _, gpus := range Fig9GPUCounts {
 				s.GPUs = append(s.GPUs, gpus)
-				s.Tput = append(s.Tput, tp)
+				s.Tput = append(s.Tput, means[key(d.Name, m.Name(), gpus)])
 			}
 			out = append(out, s)
 		}

@@ -198,10 +198,3 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
 	}
 	return totalFlow, totalCost
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

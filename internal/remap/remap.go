@@ -348,10 +348,3 @@ func Apply(tokens []int, p *Plan) []int {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -108,10 +108,3 @@ func Eq1Cost(n float64, x1, x2 int, bIntra, bInter float64) float64 {
 
 // DirectCost is the unrouted baseline cost bInter·n of Eq. 1's preamble.
 func DirectCost(n float64, bInter float64) float64 { return bInter * n }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -177,23 +177,28 @@ func (c *Config) Batch(sample func(total int, rng *rand.Rand) []seq.Sequence) []
 	return sample(c.TotalTokens(), rng)
 }
 
-// Result reports one simulated iteration.
+// Result reports one simulated iteration. The JSON field names are part
+// of the runner's artifact format and must stay stable.
 type Result struct {
-	Method    string
-	IterTime  float64 // seconds per iteration (all layers + host overhead)
-	LayerTime float64 // seconds for the simulated layer (fwd+bwd)
-	Tokens    int
+	Method    string  `json:"method"`
+	IterTime  float64 `json:"iter_time"`  // seconds per iteration (all layers + host overhead)
+	LayerTime float64 `json:"layer_time"` // seconds for the simulated layer (fwd+bwd)
+	Tokens    int     `json:"tokens"`
 	// TokensPerSec is the paper's headline metric.
-	TokensPerSec float64
+	TokensPerSec float64 `json:"tokens_per_sec"`
 	// Phase spans of the simulated layer in seconds.
-	AttnFwd, AttnBwd, LinearFwd, LinearBwd, RemapTime float64
+	AttnFwd   float64 `json:"attn_fwd"`
+	AttnBwd   float64 `json:"attn_bwd"`
+	LinearFwd float64 `json:"linear_fwd"`
+	LinearBwd float64 `json:"linear_bwd"`
+	RemapTime float64 `json:"remap_time"`
 	// PerRankPhase maps phase label prefix -> per-rank busy seconds, for
 	// the Table 3 min–max ranges.
-	PerRankPhase map[string][]float64
-	HostOverhead float64
+	PerRankPhase map[string][]float64 `json:"per_rank_phase,omitempty"`
+	HostOverhead float64              `json:"host_overhead"`
 	// GradSync is the method-independent per-iteration gradient
 	// synchronization cost not hidden by backward overlap.
-	GradSync float64
+	GradSync float64 `json:"grad_sync"`
 }
 
 // gradSyncTime estimates the unhidden portion of the per-iteration
