@@ -119,6 +119,17 @@ func BenchmarkFig12Timeline(b *testing.B) {
 	}
 }
 
+func BenchmarkFig13Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.Fig13CampaignSpeedup(res), "campaign-speedup-x")
+		b.ReportMetric(experiments.Fig13ReplanWin(res), "replan-win-x")
+	}
+}
+
 func BenchmarkTable3CostDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cols, err := experiments.Table3()

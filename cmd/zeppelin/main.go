@@ -1,17 +1,24 @@
 // Command zeppelin regenerates the paper's evaluation tables and figures
-// on the simulated cluster substrate.
+// on the simulated cluster substrate, and runs streaming long-horizon
+// campaigns on top of the same cells.
 //
 // Usage:
 //
 //	zeppelin [-seeds N] [-workers N] [-json] <experiment>
+//	zeppelin [-seeds N] [-workers N] campaign [-iters N] [-arrival P] [-drift D] [-policy P] [-json] [...]
 //
 // where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
-// fig10, fig11, fig12, table3, all.
+// fig10, fig11, fig12, fig13, table3, all.
 //
 // -workers bounds the concurrent simulation pool (default GOMAXPROCS);
 // results are bit-identical for every worker count. -json emits the
 // experiment's structured results as a JSON artifact instead of the
 // paper-style text rendering.
+//
+// The campaign subcommand simulates a multi-iteration training stream:
+// an arrival process (steady, poisson, bursty, drifting mixture, or
+// deterministic trace replay) feeds batches to every compared method
+// while a replanning controller decides when to re-run the partitioner.
 package main
 
 import (
@@ -20,22 +27,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 
+	"zeppelin/internal/campaign"
 	"zeppelin/internal/experiments"
 	"zeppelin/internal/runner"
+	"zeppelin/internal/trace"
 	"zeppelin/internal/workload"
 )
 
 func main() {
-	seeds := flag.Int("seeds", 3, "independently sampled batches averaged per cell")
-	workers := flag.Int("workers", 0, "concurrent simulation workers (default GOMAXPROCS)")
+	seeds := flag.Int("seeds", 3, "independently sampled batches (or campaigns) averaged per cell; must be >= 1")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers; must be >= 1")
 	jsonOut := flag.Bool("json", false, "emit structured results as JSON instead of text")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: zeppelin [-seeds N] [-workers N] [-json] <fig1|table2|fig3|fig5|fig8|fig9|fig10|fig11|fig12|table3|all>\n")
-		flag.PrintDefaults()
-	}
+	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "zeppelin: -seeds must be >= 1, got %d\n", *seeds)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "zeppelin: -workers must be >= 1, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "campaign" {
+		if err := campaignCmd(os.Stdout, args[1:], *seeds, *workers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zeppelin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := args[0]
+	if !knownExperiment(name) {
+		fmt.Fprintf(os.Stderr, "zeppelin: unknown experiment %q\n", name)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -48,9 +84,9 @@ func main() {
 	}
 	var err error
 	if *jsonOut {
-		err = dispatchJSON(os.Stdout, flag.Arg(0), opts)
+		err = dispatchJSON(os.Stdout, name, opts)
 	} else {
-		err = dispatch(os.Stdout, flag.Arg(0), opts)
+		err = dispatch(os.Stdout, name, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zeppelin:", err)
@@ -58,8 +94,33 @@ func main() {
 	}
 }
 
-// experimentOrder is the `all` sequence, in paper order.
-var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "table3"}
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
+       zeppelin [-seeds N] [-workers N] campaign [flags]
+
+experiments: %s
+campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
+                -dataset NAME  -drift a,b,c  -policy always|never|threshold|periodic
+                -threshold X  -every N  -replan-cost SECONDS  -json
+`, strings.Join(append(append([]string{}, experimentOrder...), "all"), " "))
+	flag.PrintDefaults()
+}
+
+// experimentOrder is the `all` sequence, in paper order; fig13 (the
+// streaming campaign) extends the evaluation past the paper.
+var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3"}
+
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, k := range experimentOrder {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
 
 func dispatch(w io.Writer, name string, opts experiments.Options) error {
 	runs := map[string]func(io.Writer, experiments.Options) error{
@@ -72,6 +133,7 @@ func dispatch(w io.Writer, name string, opts experiments.Options) error {
 		"fig10":  experiments.WriteFig10,
 		"fig11":  experiments.WriteFig11,
 		"fig12":  func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig12(w, opts) },
+		"fig13":  experiments.WriteFig13,
 		"table3": func(w io.Writer, opts experiments.Options) error { return writeTable3(w, opts) },
 	}
 	if name == "all" {
@@ -120,6 +182,8 @@ func result(name string, opts experiments.Options) (any, error) {
 		return experiments.Fig11(opts)
 	case "fig12":
 		return experiments.Fig12Traces(opts)
+	case "fig13":
+		return experiments.Fig13(opts)
 	case "table3":
 		return experiments.Table3Opts(opts)
 	}
@@ -154,4 +218,114 @@ func dispatchJSON(w io.Writer, name string, opts experiments.Options) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(payload)
+}
+
+// ---------------------------------------------------------------------
+// campaign subcommand
+// ---------------------------------------------------------------------
+
+// campaignArtifact is the JSON shape of one campaign invocation: the
+// seed-averaged rows plus every method's full seed-0 report (records
+// carry the per-iteration stream the summaries' percentiles come from).
+type campaignArtifact struct {
+	Iters   int                   `json:"iters"`
+	Arrival string                `json:"arrival"`
+	Policy  string                `json:"policy"`
+	Seeds   int                   `json:"seeds"`
+	Rows    []campaign.RowSummary `json:"rows"`
+	Reports []*campaign.Report    `json:"reports"`
+}
+
+func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	iters := fs.Int("iters", 50, "campaign iterations; must be >= 1")
+	arrivalName := fs.String("arrival", "steady", "arrival process: steady|poisson|bursty|drift|replay")
+	datasetName := fs.String("dataset", "arxiv", "base dataset for steady/poisson/bursty/replay arrivals")
+	driftPath := fs.String("drift", "arxiv,github,prolong64k", "comma-separated dataset waypoints for -arrival drift")
+	policyName := fs.String("policy", "threshold", "replan policy: always|never|threshold|periodic")
+	threshold := fs.Float64("threshold", campaign.DefaultThreshold, "imbalance ratio for -policy threshold")
+	every := fs.Int("every", 10, "replan cadence for -policy periodic")
+	replanCost := fs.Float64("replan-cost", campaign.DefaultReplanCost,
+		"seconds charged per replan (negative = free)")
+	subJSON := fs.Bool("json", false, "emit the campaign artifact as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("campaign: unexpected arguments %q", fs.Args())
+	}
+	if *iters < 1 {
+		return fmt.Errorf("campaign: -iters must be >= 1, got %d", *iters)
+	}
+	jsonOut = jsonOut || *subJSON
+
+	// Resolve only the inputs the selected arrival uses: -dataset for the
+	// single-distribution processes, -drift for the drifting mixture.
+	var base workload.Dataset
+	var path []workload.Dataset
+	if *arrivalName == "drift" {
+		for _, name := range strings.Split(*driftPath, ",") {
+			d, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			path = append(path, d)
+		}
+	} else {
+		var err error
+		if base, err = workload.ByName(*datasetName); err != nil {
+			return err
+		}
+	}
+	cell := experiments.CampaignCell(0)
+	arrival, err := campaign.ArrivalByName(*arrivalName, base, path, *iters, cell.TotalTokens())
+	if err != nil {
+		return err
+	}
+	policy, err := campaign.PolicyByName(*policyName, *threshold, *every)
+	if err != nil {
+		return err
+	}
+
+	// Row-major (method × seed) grid through the shared grid runner,
+	// seeded exactly like fig13 so both stream identical batches.
+	methods := experiments.Methods()
+	var cfgs []campaign.Config
+	for _, m := range methods {
+		for s := 0; s < seeds; s++ {
+			cfgs = append(cfgs, campaign.Config{
+				Trainer:    experiments.CampaignCell(experiments.SeedValue(s)),
+				Method:     m,
+				Iters:      *iters,
+				Arrival:    arrival,
+				Policy:     policy,
+				ReplanCost: *replanCost,
+			})
+		}
+	}
+	reports, err := campaign.RunGrid(cfgs, workers)
+	if err != nil {
+		return err
+	}
+
+	art := campaignArtifact{Iters: *iters, Arrival: arrival.Name(), Policy: policy.Name(), Seeds: seeds}
+	for m := range methods {
+		cell := reports[m*seeds : (m+1)*seeds]
+		art.Rows = append(art.Rows, campaign.Summarize(cell))
+		art.Reports = append(art.Reports, cell[0])
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(art)
+	}
+	fmt.Fprintf(w, "streaming campaign: %d iterations, arrival %s, policy %s, %d seed(s)\n\n",
+		art.Iters, art.Arrival, art.Policy, art.Seeds)
+	campaign.WriteRowTable(w, art.Rows)
+	// Timeline of the last method's (Zeppelin's) seed-0 campaign.
+	last := art.Reports[len(art.Reports)-1]
+	fmt.Fprintf(w, "\n%s campaign (seed 0):\n", last.Summary.Method)
+	trace.CampaignTimeline(w, last.TraceRows(), 60, 25)
+	return nil
 }

@@ -19,8 +19,11 @@
 //   - internal/zeppelin   — the assembled system (trainer.Method)
 //   - internal/trainer    — end-to-end iteration simulation
 //   - internal/runner     — concurrent, memoizing experiment engine
-//   - internal/experiments— regenerators for every paper table and figure
-//   - internal/trace      — Fig. 12-style timeline rendering
+//   - internal/campaign   — streaming multi-iteration campaigns: arrival
+//     processes, online re-planning policies, per-iteration metrics
+//   - internal/experiments— regenerators for every paper table and figure,
+//     plus the fig13 streaming-campaign comparison
+//   - internal/trace      — Fig. 12-style timeline and campaign rendering
 //
 // See README.md for a tour and DESIGN.md for the system inventory and the
 // per-experiment index.

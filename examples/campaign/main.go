@@ -1,0 +1,54 @@
+// Campaign quickstart: stream 40 iterations of a drifting workload
+// (ArXiv gradually becoming GitHub) through Zeppelin with threshold
+// replanning, then print the online metrics and the iteration timeline —
+// the minimal use of the internal/campaign streaming layer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"zeppelin/internal/campaign"
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/model"
+	"zeppelin/internal/trace"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
+)
+
+func main() {
+	const iters = 40
+	rep, err := campaign.Run(campaign.Config{
+		// The per-iteration cell: LLaMA 7B on two Cluster A nodes.
+		Trainer: trainer.Config{
+			Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2, Seed: 42,
+		},
+		Method: zeppelin.Full(),
+		Iters:  iters,
+		// The workload drifts from ArXiv's distribution to GitHub's
+		// long-tailed one over the campaign horizon.
+		Arrival: campaign.Drift{
+			Path:  []workload.Dataset{workload.ArXiv, workload.GitHub},
+			Iters: iters,
+		},
+		// Re-run the partitioner only when reusing the stale plan would
+		// push the projected imbalance above 30% over the mean.
+		Policy: campaign.Threshold{Ratio: 1.3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := rep.Summary
+	fmt.Printf("campaign: %s over %s, policy %s\n", s.Method, s.Arrival, s.Policy)
+	fmt.Printf("  throughput      %10.0f tokens/s over %d iterations\n", s.TokensPerSec, s.Iters)
+	fmt.Printf("  iteration time  p50 %.3f s, p95 %.3f s, p99 %.3f s\n", s.P50IterTime, s.P95IterTime, s.P99IterTime)
+	fmt.Printf("  replans         %d (mean imbalance %.3f, mean utilization %.3f)\n\n",
+		s.Replans, s.MeanImbalance, s.MeanUtilization)
+	trace.CampaignTimeline(os.Stdout, rep.TraceRows(), 60, 20)
+
+	// The full per-iteration stream exports as a JSON artifact:
+	//   _ = rep.WriteJSON(os.Stdout)
+}

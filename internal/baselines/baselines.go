@@ -113,6 +113,12 @@ func (t TECP) Name() string {
 	return "TE CP"
 }
 
+// ShapeIndependent marks the placement as batch-shape independent:
+// every sequence splits evenly across all ranks whatever arrives, so a
+// streaming campaign never needs to re-plan TE CP and it never pays a
+// stale-plan penalty (internal/campaign consumes this).
+func (TECP) ShapeIndependent() bool { return true }
+
 // Plan builds the even-split placement.
 func (t TECP) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement, error) {
 	if len(batch) == 0 {
@@ -168,6 +174,10 @@ type LLaMACP struct{}
 
 // Name identifies the method in reports.
 func (LLaMACP) Name() string { return "LLaMA CP" }
+
+// ShapeIndependent marks the placement as batch-shape independent, like
+// TE CP's: the all-gather group covers all ranks for any batch.
+func (LLaMACP) ShapeIndependent() bool { return true }
 
 // Plan builds the all-gather placement.
 func (LLaMACP) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement, error) {

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"zeppelin/internal/seq"
+	"zeppelin/internal/workload"
+)
+
+// Arrival is a batch arrival process: it produces the training batch of
+// every campaign iteration. baseTokens is the cluster's nominal global
+// token budget (TokensPerGPU × GPUs); processes may deliver more or less
+// than that per iteration, but never less than baseTokens/4 so every
+// iteration keeps all methods plannable. Implementations draw all
+// randomness from rng, which the campaign advances sequentially, so a
+// campaign is one deterministic stream per seed.
+type Arrival interface {
+	Name() string
+	Batch(iter, baseTokens int, rng *rand.Rand) []seq.Sequence
+}
+
+// minBudget floors a per-iteration token budget at a quarter of the
+// nominal budget: arrival troughs shrink batches, they never empty them.
+func minBudget(budget, baseTokens int) int {
+	if floor := baseTokens / 4; budget < floor {
+		return floor
+	}
+	return budget
+}
+
+// Steady delivers one full-budget batch per iteration from a fixed
+// dataset — the regime every one-shot figure of the paper measures.
+type Steady struct{ D workload.Dataset }
+
+// Name identifies the process and its dataset.
+func (s Steady) Name() string { return "steady(" + s.D.Name + ")" }
+
+// Batch samples a full-budget batch.
+func (s Steady) Batch(_, baseTokens int, rng *rand.Rand) []seq.Sequence {
+	return s.D.Batch(baseTokens, rng)
+}
+
+// Poisson delivers a variable number of arrival units per iteration:
+// K ~ Poisson(Mean), each worth baseTokens/Mean tokens, so the long-run
+// average matches the nominal budget while individual iterations swing
+// between troughs and overloads.
+type Poisson struct {
+	D    workload.Dataset
+	Mean float64 // expected arrival units per iteration (> 0)
+}
+
+// Name identifies the process, its dataset, and its rate.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%s,λ=%g)", p.D.Name, p.Mean) }
+
+// Batch draws the unit count and samples a batch for the scaled budget.
+func (p Poisson) Batch(_, baseTokens int, rng *rand.Rand) []seq.Sequence {
+	mean := p.Mean
+	if mean <= 0 {
+		mean = 8
+	}
+	k := poissonSample(rng, mean)
+	budget := int(float64(baseTokens) * float64(k) / mean)
+	return p.D.Batch(minBudget(budget, baseTokens), rng)
+}
+
+// poissonSample draws K ~ Poisson(mean) by Knuth's product method, which
+// is exact and cheap for the single-digit rates campaigns use.
+func poissonSample(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bursty alternates between trough and overload phases within each
+// Period: burst iterations (the second half, taking the extra iteration
+// of an odd period) deliver Factor × the nominal budget and trough
+// iterations compensate exactly, so the long-run average stays nominal
+// up to the quarter-budget floor every arrival respects.
+type Bursty struct {
+	D      workload.Dataset
+	Period int     // iterations per full burst/trough cycle (≥ 2)
+	Factor float64 // burst multiplier in [1, 2)
+}
+
+// Name identifies the process and its cycle shape.
+func (b Bursty) Name() string {
+	return fmt.Sprintf("bursty(%s,T=%d,x%g)", b.D.Name, b.period(), b.factor())
+}
+
+func (b Bursty) period() int {
+	if b.Period < 2 {
+		return 20
+	}
+	return b.Period
+}
+
+func (b Bursty) factor() float64 {
+	if b.Factor < 1 || b.Factor >= 2 {
+		return 1.75
+	}
+	return b.Factor
+}
+
+// Batch samples at the phase's budget.
+func (b Bursty) Batch(iter, baseTokens int, rng *rand.Rand) []seq.Sequence {
+	period, factor := b.period(), b.factor()
+	troughN := period / 2
+	burstN := period - troughN
+	mul := (float64(period) - float64(burstN)*factor) / float64(troughN) // trough: exact budget conservation
+	if iter%period >= troughN {
+		mul = factor // burst
+	}
+	budget := int(float64(baseTokens) * mul)
+	return b.D.Batch(minBudget(budget, baseTokens), rng)
+}
+
+// Drift interpolates the sequence-length distribution piecewise-linearly
+// through a path of datasets over the campaign horizon: iteration 0
+// samples Path[0] exactly, the final iteration Path[len-1], and every
+// iteration in between a convex mixture of its two neighbors. This is
+// the workload non-stationarity that makes replanning policies matter.
+type Drift struct {
+	Path  []workload.Dataset // waypoints (≥ 2)
+	Iters int                // campaign horizon the path spans (≥ 2)
+}
+
+// Name lists the waypoints.
+func (d Drift) Name() string {
+	names := make([]string, len(d.Path))
+	for i, ds := range d.Path {
+		names[i] = ds.Name
+	}
+	return "drift(" + strings.Join(names, "->") + ")"
+}
+
+// At returns the mixed distribution active at an iteration.
+func (d Drift) At(iter int) workload.Dataset {
+	if len(d.Path) == 0 {
+		return workload.ArXiv
+	}
+	// Degenerate horizons never leave the first waypoint: iteration 0
+	// samples Path[0] exactly, whatever the configuration.
+	if len(d.Path) == 1 || d.Iters < 2 {
+		return d.Path[0]
+	}
+	if iter < 0 {
+		iter = 0
+	}
+	if iter >= d.Iters {
+		iter = d.Iters - 1
+	}
+	pos := float64(iter) / float64(d.Iters-1) * float64(len(d.Path)-1)
+	i := int(pos)
+	if i >= len(d.Path)-1 {
+		return d.Path[len(d.Path)-1]
+	}
+	alpha := pos - float64(i)
+	from, to := d.Path[i], d.Path[i+1]
+	probs := make([]float64, len(from.Probs))
+	for b := range probs {
+		probs[b] = (1-alpha)*from.Probs[b] + alpha*to.Probs[b]
+	}
+	return workload.Dataset{Name: fmt.Sprintf("drift@%d", iter), Probs: probs}
+}
+
+// Batch samples from the iteration's mixture at full budget.
+func (d Drift) Batch(iter, baseTokens int, rng *rand.Rand) []seq.Sequence {
+	return d.At(iter).Batch(baseTokens, rng)
+}
+
+// Replay is deterministic trace replay: a recorded list of batches is
+// served verbatim, cycling when the campaign outlives the trace. The rng
+// is untouched, so replay campaigns are identical across seeds.
+type Replay struct {
+	Trace   string // display name of the trace
+	Batches [][]seq.Sequence
+}
+
+// Name identifies the trace.
+func (r Replay) Name() string { return fmt.Sprintf("replay(%s,%d)", r.Trace, len(r.Batches)) }
+
+// Batch serves the recorded batch for the iteration (copied, so callers
+// may not mutate the trace).
+func (r Replay) Batch(iter, _ int, _ *rand.Rand) []seq.Sequence {
+	if len(r.Batches) == 0 {
+		return nil
+	}
+	src := r.Batches[iter%len(r.Batches)]
+	out := make([]seq.Sequence, len(src))
+	copy(out, src)
+	return out
+}
+
+// Record pre-samples a replayable trace of `iters` batches from a
+// dataset at a fixed seed — the bridge from any generative process to
+// deterministic replay.
+func Record(d workload.Dataset, iters, baseTokens int, seedVal int64) Replay {
+	rng := rand.New(rand.NewSource(seedVal))
+	batches := make([][]seq.Sequence, iters)
+	for i := range batches {
+		batches[i] = d.Batch(baseTokens, rng)
+	}
+	return Replay{Trace: d.Name, Batches: batches}
+}
+
+// ArrivalByName builds the named arrival process over a base dataset:
+// "steady", "poisson", "bursty", "drift" (interpolating driftPath over
+// the campaign horizon), or "replay" (a pre-recorded steady trace). The
+// CLI and the campaign experiment both assemble processes through it.
+func ArrivalByName(name string, d workload.Dataset, driftPath []workload.Dataset, iters, baseTokens int) (Arrival, error) {
+	switch name {
+	case "steady":
+		return Steady{D: d}, nil
+	case "poisson":
+		return Poisson{D: d, Mean: 8}, nil
+	case "bursty":
+		return Bursty{D: d, Period: 20, Factor: 1.75}, nil
+	case "drift":
+		if len(driftPath) == 0 {
+			driftPath = []workload.Dataset{workload.ArXiv, workload.GitHub, workload.ProLong64k}
+		}
+		if len(driftPath) < 2 {
+			return nil, fmt.Errorf("campaign: drift needs >= 2 waypoints, got %d", len(driftPath))
+		}
+		return Drift{Path: driftPath, Iters: iters}, nil
+	case "replay":
+		n := iters
+		if n > 32 {
+			n = 32
+		}
+		if n < 1 {
+			n = 1
+		}
+		return Record(d, n, baseTokens, 424243), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown arrival process %q (want steady|poisson|bursty|drift|replay)", name)
+}

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zeppelin/internal/seq"
+	"zeppelin/internal/workload"
+)
+
+const testBase = 64 << 10
+
+func totalTokens(b []seq.Sequence) int { return seq.TotalLen(b) }
+
+func TestSteadyDeliversFullBudget(t *testing.T) {
+	a := Steady{D: workload.ArXiv}
+	rng := rand.New(rand.NewSource(1))
+	for it := 0; it < 5; it++ {
+		b := a.Batch(it, testBase, rng)
+		if got := totalTokens(b); got != testBase {
+			t.Fatalf("iter %d: %d tokens, want %d", it, got, testBase)
+		}
+	}
+}
+
+func TestArrivalsDeterministicPerSeed(t *testing.T) {
+	arrivals := []Arrival{
+		Steady{D: workload.GitHub},
+		Poisson{D: workload.GitHub, Mean: 8},
+		Bursty{D: workload.GitHub, Period: 10, Factor: 1.5},
+		Drift{Path: []workload.Dataset{workload.ArXiv, workload.GitHub}, Iters: 20},
+		Record(workload.GitHub, 8, testBase, 7),
+	}
+	for _, a := range arrivals {
+		r1 := rand.New(rand.NewSource(42))
+		r2 := rand.New(rand.NewSource(42))
+		for it := 0; it < 10; it++ {
+			b1 := a.Batch(it, testBase, r1)
+			b2 := a.Batch(it, testBase, r2)
+			if len(b1) != len(b2) {
+				t.Fatalf("%s iter %d: lengths %d vs %d", a.Name(), it, len(b1), len(b2))
+			}
+			for i := range b1 {
+				if b1[i] != b2[i] {
+					t.Fatalf("%s iter %d: seq %d differs: %+v vs %+v", a.Name(), it, i, b1[i], b2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalsRespectMinBudget(t *testing.T) {
+	arrivals := []Arrival{
+		Poisson{D: workload.ArXiv, Mean: 2}, // frequent K=0 draws
+		Bursty{D: workload.ArXiv, Period: 4, Factor: 1.99},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, a := range arrivals {
+		for it := 0; it < 50; it++ {
+			if got := totalTokens(a.Batch(it, testBase, rng)); got < testBase/4 {
+				t.Fatalf("%s iter %d: %d tokens below floor %d", a.Name(), it, got, testBase/4)
+			}
+		}
+	}
+}
+
+func TestBurstyAlternatesPhases(t *testing.T) {
+	a := Bursty{D: workload.ArXiv, Period: 10, Factor: 1.75}
+	rng := rand.New(rand.NewSource(5))
+	trough := totalTokens(a.Batch(0, testBase, rng))
+	burst := totalTokens(a.Batch(5, testBase, rng))
+	if trough >= testBase || burst <= testBase {
+		t.Fatalf("trough %d / burst %d do not straddle base %d", trough, burst, testBase)
+	}
+}
+
+func TestBurstyOddPeriodConservesBudget(t *testing.T) {
+	// An odd period gives the burst phase the extra iteration; the trough
+	// multiplier must compensate so one full cycle still averages the
+	// nominal budget (factor chosen to keep troughs above the floor).
+	a := Bursty{D: workload.ArXiv, Period: 5, Factor: 1.4}
+	rng := rand.New(rand.NewSource(2))
+	var sum int
+	for it := 0; it < 5; it++ {
+		sum += totalTokens(a.Batch(it, testBase, rng))
+	}
+	mean := float64(sum) / 5
+	if math.Abs(mean-testBase)/testBase > 1e-3 {
+		t.Fatalf("odd-period cycle mean %v, want ~%d", mean, testBase)
+	}
+}
+
+func TestDriftInterpolatesEndpoints(t *testing.T) {
+	d := Drift{Path: []workload.Dataset{workload.ArXiv, workload.ProLong64k}, Iters: 100}
+	first, last := d.At(0), d.At(99)
+	for b := range first.Probs {
+		if first.Probs[b] != workload.ArXiv.Probs[b] {
+			t.Fatalf("iteration 0 bin %d: %v, want arxiv %v", b, first.Probs[b], workload.ArXiv.Probs[b])
+		}
+		if last.Probs[b] != workload.ProLong64k.Probs[b] {
+			t.Fatalf("final iteration bin %d: %v, want prolong64k %v", b, last.Probs[b], workload.ProLong64k.Probs[b])
+		}
+	}
+	// Midpoint is a strict mixture: mean length strictly between the two.
+	mid := d.At(50).MeanLen()
+	lo, hi := workload.ArXiv.MeanLen(), workload.ProLong64k.MeanLen()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mid <= lo || mid >= hi {
+		t.Fatalf("midpoint mean %v outside (%v, %v)", mid, lo, hi)
+	}
+	// Past the horizon, the mixture clamps to the final waypoint.
+	if got := d.At(500).MeanLen(); math.Abs(got-d.At(99).MeanLen()) > 1e-9 {
+		t.Fatalf("past-horizon mean %v != final %v", got, d.At(99).MeanLen())
+	}
+}
+
+func TestReplayServesTraceVerbatimAndCycles(t *testing.T) {
+	r := Record(workload.ArXiv, 4, testBase, 11)
+	rng := rand.New(rand.NewSource(99))
+	for it := 0; it < 8; it++ {
+		got := r.Batch(it, testBase, rng)
+		want := r.Batches[it%4]
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d seqs, want %d", it, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d seq %d: %+v != %+v", it, i, got[i], want[i])
+			}
+		}
+		// Mutating the served batch must not corrupt the trace.
+		if len(got) > 0 {
+			got[0].Len = -1
+			if r.Batches[it%4][0].Len == -1 {
+				t.Fatal("replay returned an alias into the trace")
+			}
+		}
+	}
+}
+
+func TestArrivalByName(t *testing.T) {
+	for _, name := range []string{"steady", "poisson", "bursty", "drift", "replay"} {
+		a, err := ArrivalByName(name, workload.ArXiv, nil, 50, testBase)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		if b := a.Batch(0, testBase, rng); len(b) == 0 {
+			t.Fatalf("%s: empty batch", name)
+		}
+	}
+	if _, err := ArrivalByName("nope", workload.ArXiv, nil, 50, testBase); err == nil {
+		t.Fatal("unknown arrival must error")
+	}
+}
+
+func TestPoissonSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, mean = 20000, 8.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(poissonSample(rng, mean))
+	}
+	if got := sum / n; math.Abs(got-mean) > 0.15 {
+		t.Fatalf("empirical mean %v, want ~%v", got, mean)
+	}
+}

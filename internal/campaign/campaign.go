@@ -1,0 +1,318 @@
+// Package campaign is the streaming long-horizon simulation layer: it
+// runs a training Method over hundreds of iterations of an arriving,
+// drifting workload instead of the single batches the paper's figures
+// measure. Each iteration a batch arrives (Arrival), a replanning
+// controller (Policy) decides whether to re-run the partitioner or
+// reuse the previous placement skeleton, and the iteration is simulated
+// end to end — charging a configurable replan cost when planning runs
+// and a balance penalty when a stale skeleton is stretched over a batch
+// it was not built for. An online metrics layer accumulates the
+// per-iteration stream (time percentiles, tokens/sec, imbalance and
+// per-rank utilization histories) into a JSON-exportable Report that
+// internal/trace can render as an iteration timeline.
+//
+// Campaigns are deterministic per (Config, seed): all randomness flows
+// from one sequential RNG, so fanning campaigns across seeds or methods
+// with internal/runner.ForEach is bit-identical to running them serially.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"zeppelin/internal/runner"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+)
+
+// ShapeIndependent is implemented by methods whose placement does not
+// depend on the batch's shape: even-splitting strategies shard every
+// sequence the same way whatever arrives, so a campaign never replans
+// them and they never pay a staleness penalty. TE CP and LLaMA CP opt in.
+type ShapeIndependent interface {
+	ShapeIndependent() bool
+}
+
+// Config describes one campaign: the cluster/model cell, the method
+// under test, the arrival process, and the replanning controller.
+type Config struct {
+	// Trainer is the per-iteration simulation cell; its Seed seeds the
+	// campaign's single RNG stream.
+	Trainer trainer.Config
+	Method  trainer.Method
+	// Iters is the campaign horizon (≥ 1).
+	Iters int
+	// Arrival generates each iteration's batch; default Steady(arxiv).
+	Arrival Arrival
+	// Policy decides when to re-run the partitioner; default Threshold.
+	Policy Policy
+	// ReplanCost is the per-replan coordination charge in seconds — the
+	// cost of re-running the solver, broadcasting the new placement, and
+	// draining in-flight micro-batches. Zero selects DefaultReplanCost;
+	// a negative value means replanning is free.
+	ReplanCost float64
+	// ReuseOverhead is the bookkeeping charge of a reuse iteration in
+	// seconds (routing the batch through the frozen skeleton). Zero
+	// selects DefaultReuseOverhead; a negative value means free.
+	ReuseOverhead float64
+}
+
+// Default iteration charges; see Config.ReplanCost / Config.ReuseOverhead.
+const (
+	DefaultReplanCost    = 20e-3
+	DefaultReuseOverhead = 0.2e-3
+)
+
+// Validate fills defaults and checks the configuration.
+func (c *Config) Validate() error {
+	if c.Method == nil {
+		return fmt.Errorf("campaign: no method")
+	}
+	if c.Iters <= 0 {
+		return fmt.Errorf("campaign: iters must be >= 1, got %d", c.Iters)
+	}
+	if err := c.Trainer.Validate(); err != nil {
+		return err
+	}
+	if c.Arrival == nil {
+		c.Arrival = Steady{D: workload.ArXiv}
+	}
+	if c.Policy == nil {
+		c.Policy = Threshold{}
+	}
+	switch {
+	case c.ReplanCost == 0:
+		c.ReplanCost = DefaultReplanCost
+	case c.ReplanCost < 0:
+		c.ReplanCost = 0
+	}
+	switch {
+	case c.ReuseOverhead == 0:
+		c.ReuseOverhead = DefaultReuseOverhead
+	case c.ReuseOverhead < 0:
+		c.ReuseOverhead = 0
+	}
+	return nil
+}
+
+// shapeIndependent reports whether the method opts out of replanning.
+func (c *Config) shapeIndependent() bool {
+	si, ok := c.Method.(ShapeIndependent)
+	return ok && si.ShapeIndependent()
+}
+
+// Run executes the campaign and returns its report. The loop is serial
+// by construction — iteration t+1's controller state depends on t — so
+// parallelism lives one level up, across (method × policy × seed) cells.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	world := cfg.Trainer.GPUs() / cfg.Trainer.TP
+	capacity := int(cfg.Trainer.CapacityFactor * float64(cfg.Trainer.TokensPerGPU*cfg.Trainer.TP))
+	baseTokens := cfg.Trainer.TotalTokens()
+	shapeIndep := cfg.shapeIndependent()
+	layers := float64(cfg.Trainer.Model.Layers)
+
+	rng := rand.New(rand.NewSource(cfg.Trainer.Seed))
+	report := &Report{Records: make([]IterRecord, 0, cfg.Iters)}
+	busySum := make([]float64, world)
+	var spanSum float64
+
+	var stale *slotPlan
+	sinceReplan := 0
+	for it := 0; it < cfg.Iters; it++ {
+		batch := cfg.Arrival.Batch(it, baseTokens, rng)
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
+		}
+		// Admission control: no iteration can place more tokens than the
+		// partitioners' total capacity, so overload arrivals (bursts,
+		// Poisson spikes) are trimmed to fit and the excess is deferred —
+		// in a real system those samples re-enter the stream later.
+		batch, deferred := admit(batch, world*capacity)
+
+		// Project both placements for the incoming batch: what a fresh
+		// plan would achieve and what reusing the stale skeleton costs.
+		// Shape-independent methods skip the projection entirely — they
+		// have no plan skeleton to manage.
+		var fresh *slotPlan
+		var staleImb float64
+		replan := false
+		if !shapeIndep {
+			fresh = buildSlotPlan(batch, world, capacity)
+			staleImb = fresh.imbalance
+			if stale != nil {
+				staleImb = stale.fill(batch)
+			}
+			replan = stale == nil || cfg.Policy.ShouldReplan(PolicyState{
+				Iter:           it,
+				SinceReplan:    sinceReplan,
+				StaleImbalance: staleImb,
+				FreshImbalance: fresh.imbalance,
+			})
+		}
+
+		// The fresh reference simulation: full fidelity for the plan the
+		// partitioner would produce on this batch.
+		res, err := trainer.Run(cfg.Trainer, cfg.Method, batch)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: iteration %d: %w", it, err)
+		}
+		busy := perRankBusy(res, world)
+		realizedImb := maxOverMean(busy)
+
+		rec := IterRecord{
+			Iter:     it,
+			Tokens:   seq.TotalLen(batch),
+			Seqs:     len(batch),
+			Deferred: deferred,
+			Penalty:  1,
+		}
+		span := res.LayerTime
+		switch {
+		case shapeIndep:
+			// Even-splitting methods re-chunk every iteration as part of
+			// their normal (cheap) host path; there is no plan to reuse.
+			rec.Time = res.IterTime
+			rec.Imbalance = realizedImb
+		case replan:
+			rec.Replanned = true
+			rec.Time = res.IterTime + cfg.ReplanCost
+			rec.Imbalance = realizedImb
+			stale = fresh
+			sinceReplan = 0
+		default:
+			// Reuse: the layer critical path stretches by the ratio of the
+			// stale skeleton's projected imbalance to the fresh plan's; the
+			// partitioner's host overhead is skipped.
+			penalty := staleImb / fresh.imbalance
+			if penalty < 1 {
+				penalty = 1
+			}
+			rec.Penalty = penalty
+			span = res.LayerTime * penalty
+			rec.Time = span*layers + res.GradSync + cfg.ReuseOverhead
+			rec.Imbalance = realizedImb * penalty
+			sinceReplan++
+		}
+		if rec.Time > 0 {
+			rec.TokensPerSec = float64(rec.Tokens) / rec.Time
+		}
+
+		// Utilization: busy fraction of the (possibly stretched) layer span.
+		var util float64
+		if span > 0 {
+			for r, b := range busy {
+				f := b / span
+				if f > 1 {
+					f = 1
+				}
+				util += f
+				busySum[r] += b
+			}
+			util /= float64(world)
+			spanSum += span
+		}
+		rec.Utilization = util
+
+		report.Records = append(report.Records, rec)
+	}
+
+	report.PerRankUtil = make([]float64, world)
+	if spanSum > 0 {
+		for r := range busySum {
+			f := busySum[r] / spanSum
+			if f > 1 {
+				f = 1
+			}
+			report.PerRankUtil[r] = f
+		}
+	}
+	report.summarize(cfg.Method.Name(), cfg.Arrival.Name(), policyLabel(&cfg))
+	return report, nil
+}
+
+// policyLabel names the controller column: shape-independent methods
+// have no plan to manage, which the report states explicitly.
+func policyLabel(cfg *Config) string {
+	if cfg.shapeIndependent() {
+		return "n/a (shape-independent)"
+	}
+	return cfg.Policy.Name()
+}
+
+// RunGrid executes a flat list of independent campaigns across a
+// bounded worker pool. Each campaign is deterministic and
+// self-contained, so results are positional and bit-identical at every
+// pool size; the fig13 experiment and the CLI campaign subcommand both
+// fan their (row × seed) grids through it.
+func RunGrid(cfgs []Config, workers int) ([]*Report, error) {
+	reports := make([]*Report, len(cfgs))
+	err := runner.ForEach(workers, len(cfgs), func(i int) error {
+		rep, err := Run(cfgs[i])
+		if err != nil {
+			name := "?"
+			if cfgs[i].Method != nil {
+				name = cfgs[i].Method.Name()
+			}
+			return fmt.Errorf("campaign %s (grid job %d): %w", name, i, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// admit trims a batch to the placement capacity of one iteration,
+// returning the admitted batch and the deferred token count. Sequences
+// are admitted in arrival order; the first sequence that does not fit
+// is clamped to the remaining budget (when ≥ 16 tokens remain, matching
+// the samplers' remnant rule) and the rest wait for a later iteration.
+func admit(batch []seq.Sequence, maxTokens int) ([]seq.Sequence, int) {
+	total := seq.TotalLen(batch)
+	if maxTokens <= 0 || total <= maxTokens {
+		return batch, 0
+	}
+	remaining := maxTokens
+	admitted := make([]seq.Sequence, 0, len(batch))
+	for _, s := range batch {
+		if s.Len <= remaining {
+			admitted = append(admitted, s)
+			remaining -= s.Len
+			continue
+		}
+		if remaining >= 16 {
+			admitted = append(admitted, seq.Sequence{ID: s.ID, Len: remaining})
+			remaining = 0
+		}
+		break
+	}
+	return admitted, total - (maxTokens - remaining)
+}
+
+// perRankBusy sums each rank's busy seconds across all simulated phases
+// of the iteration's layer. Phases are folded in sorted label order so
+// the floating-point accumulation — and therefore the whole report — is
+// bit-identical across runs (map iteration order is not).
+func perRankBusy(res *trainer.Result, world int) []float64 {
+	labels := make([]string, 0, len(res.PerRankPhase))
+	for label := range res.PerRankPhase {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	busy := make([]float64, world)
+	for _, label := range labels {
+		for r, d := range res.PerRankPhase[label] {
+			if r < world {
+				busy[r] += d
+			}
+		}
+	}
+	return busy
+}

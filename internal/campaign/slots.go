@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+
+	"zeppelin/internal/model"
+	"zeppelin/internal/seq"
+)
+
+// slotPlan is the reusable skeleton of a hierarchical placement: one
+// slot per planned sequence, recording how many ranks the sequence
+// spanned and which. Reusing a plan across iterations means routing the
+// new batch through this skeleton — the i-th longest new sequence takes
+// the slot planned for the i-th longest old one — which is exactly what
+// a training system does when it skips the partitioner: the ring groups
+// and local assignments stay frozen while the workload underneath them
+// moves.
+type slotPlan struct {
+	world int
+	// slots are sorted by planned sequence length descending, mirroring
+	// the longest-first order both partitioning algorithms use.
+	slots []slot
+	// imbalance is the max/mean per-rank causal-pair load of the plan on
+	// the batch it was built for — the fresh-plan reference.
+	imbalance float64
+}
+
+type slot struct {
+	planned int   // length (tokens) of the sequence the slot was built for
+	ranks   []int // ranks the slot spans; len(ranks) = ring size G (1 = local)
+}
+
+// buildSlotPlan constructs a fresh skeleton for a batch with the
+// hierarchy the paper's partitioner produces: a sequence needing more
+// than capacityTokens splits into a ring of ceil(len/capacity) ranks
+// (clamped to the world), shorter sequences run locally, and slots claim
+// the least-loaded ranks longest-first. The estimator intentionally
+// ignores zone topology — it scores balance, not communication — which
+// is the quantity the replanning controller needs.
+func buildSlotPlan(batch []seq.Sequence, world, capacityTokens int) *slotPlan {
+	sorted := make([]seq.Sequence, len(batch))
+	copy(sorted, batch)
+	seq.SortByLenDesc(sorted)
+
+	sp := &slotPlan{world: world, slots: make([]slot, 0, len(sorted))}
+	load := make([]float64, world)
+	order := make([]int, world)
+	for _, s := range sorted {
+		g := 1
+		if capacityTokens > 0 {
+			g = (s.Len + capacityTokens - 1) / capacityTokens
+		}
+		if g < 1 {
+			g = 1
+		}
+		if g > world {
+			g = world
+		}
+		// Claim the g least-loaded ranks (ties broken by rank id, so the
+		// construction is deterministic).
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if load[order[a]] != load[order[b]] {
+				return load[order[a]] < load[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		ranks := make([]int, g)
+		copy(ranks, order[:g])
+		share := model.CausalPairs(float64(s.Len)) / float64(g)
+		for _, r := range ranks {
+			load[r] += share
+		}
+		sp.slots = append(sp.slots, slot{planned: s.Len, ranks: ranks})
+	}
+	sp.imbalance = maxOverMean(load)
+	return sp
+}
+
+// fill routes a batch through the skeleton and returns its projected
+// imbalance: the i-th longest sequence occupies slot i (its ring shares
+// the pairs evenly, as the 2G-chunk scheme does); sequences beyond the
+// slot count fall back to greedy local placement on the least-loaded
+// rank, and leftover slots simply stay empty.
+func (sp *slotPlan) fill(batch []seq.Sequence) float64 {
+	sorted := make([]seq.Sequence, len(batch))
+	copy(sorted, batch)
+	seq.SortByLenDesc(sorted)
+
+	load := make([]float64, sp.world)
+	for i, s := range sorted {
+		pairs := model.CausalPairs(float64(s.Len))
+		if i < len(sp.slots) {
+			sl := sp.slots[i]
+			share := pairs / float64(len(sl.ranks))
+			for _, r := range sl.ranks {
+				load[r] += share
+			}
+			continue
+		}
+		best := 0
+		for r := 1; r < sp.world; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		load[best] += pairs
+	}
+	return maxOverMean(load)
+}
+
+// maxOverMean is the balance metric everywhere in the campaign layer:
+// the busiest rank's load over the world mean; 1.0 is perfect balance.
+func maxOverMean(load []float64) float64 {
+	if len(load) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, l := range load {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum <= 0 {
+		return 1
+	}
+	mean := sum / float64(len(load))
+	imb := max / mean
+	if imb < 1 || math.IsNaN(imb) {
+		return 1
+	}
+	return imb
+}

@@ -15,6 +15,7 @@
 //	Fig10   — Cluster A vs Cluster B speedups
 //	Fig11   — component ablation
 //	Fig12   — attention timeline traces
+//	Fig13   — streaming campaign: 200-iteration drifting stream
 //	Table3  — per-component cost ranges, balanced vs skewed
 package experiments
 
@@ -112,9 +113,11 @@ func (c Cell) Config(seed int64) trainer.Config {
 	}
 }
 
-// seedValue is the per-seed RNG base every figure has always used; keep
-// it stable so regenerated numbers match earlier revisions.
-func seedValue(s int) int64 { return int64(1000 + 37*s) }
+// SeedValue is the per-seed RNG base every figure and campaign has
+// always used; keep it stable so regenerated numbers match earlier
+// revisions. cmd/zeppelin's campaign subcommand uses it too, so CLI
+// campaigns and fig13 stream identical per-seed batches.
+func SeedValue(s int) int64 { return int64(1000 + 37*s) }
 
 // grid accumulates the (cell × method × seed) jobs of one figure and
 // remembers which job keys average into which reported mean.
@@ -137,7 +140,7 @@ func (g *grid) add(group string, cell Cell, sample Sampler, samplerName string, 
 		key := fmt.Sprintf("%s/s%d", group, s)
 		g.jobs = append(g.jobs, runner.Job{
 			Key:         key,
-			Config:      cell.Config(seedValue(s)),
+			Config:      cell.Config(SeedValue(s)),
 			Method:      m,
 			Sample:      sample,
 			SamplerName: samplerName,

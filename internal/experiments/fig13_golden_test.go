@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestFig13Golden pins the 200-iteration drifting-stream campaign
+// headline numbers at one seed: campaign tokens/sec, iteration-time
+// percentiles, and replan counts for Zeppelin vs. the baselines, plus
+// the Zeppelin policy ablation. The campaign is fully deterministic, so
+// drift here means a code change silently altered the streaming
+// results — if intentional, re-pin and say so in the commit.
+func TestFig13Golden(t *testing.T) {
+	res, err := Fig13(Options{Seeds: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type golden struct {
+		tput, p50, p99, replans, imb float64
+	}
+	want := map[string]golden{
+		"TE CP/n/a (shape-independent)":    {13025.3852, 5.029242, 5.076541, 0, 1.825673},
+		"LLaMA CP/n/a (shape-independent)": {23327.3741, 2.774783, 3.531566, 0, 3.255620},
+		"Hybrid DP/threshold(1.30)":        {15356.3324, 4.431812, 6.219856, 173, 1.763733},
+		"Zeppelin/threshold(1.30)":         {26551.4429, 2.436357, 3.218084, 173, 1.106429},
+		"Zeppelin/always":                  {26517.5368, 2.448087, 3.222904, 200, 1.106429},
+		"Zeppelin/never":                   {19440.7133, 3.180205, 5.805281, 1, 1.469465},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		key := row.Method + "/" + row.Policy
+		g, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected campaign row %q", key)
+			continue
+		}
+		near(t, key+"/tput", row.TokensPerSec, g.tput)
+		near(t, key+"/p50", row.P50IterTime, g.p50)
+		near(t, key+"/p99", row.P99IterTime, g.p99)
+		near(t, key+"/replans", row.Replans, g.replans)
+		near(t, key+"/imbalance", row.MeanImbalance, g.imb)
+	}
+	// Headlines: the long-horizon Zeppelin-over-TE-CP speedup, and what
+	// online re-planning is worth against a frozen plan under drift.
+	near(t, "campaign speedup", Fig13CampaignSpeedup(res), 2.038438)
+	near(t, "replan win", Fig13ReplanWin(res), 1.365765)
+
+	// The sample report must carry the full per-iteration stream.
+	if res.Sample == nil || len(res.Sample.Records) != Fig13Iters {
+		t.Fatalf("sample report missing or truncated: %+v", res.Sample)
+	}
+	if res.Sample.Summary.Method != "Zeppelin" {
+		t.Fatalf("sample report is %q, want Zeppelin", res.Sample.Summary.Method)
+	}
+}
+
+// TestFig13SerialParallelIdentical is the campaign acceptance invariant:
+// the whole drifting-stream grid — per-iteration records included — must
+// be bit-identical on one worker and on an oversubscribed pool.
+func TestFig13SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign grid in -short mode")
+	}
+	serial, err := Fig13(Options{Seeds: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig13(Options{Seeds: 1, Workers: 2 * runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatal("serial and parallel campaign rows differ")
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(parallel)
+	if string(a) != string(b) {
+		t.Fatal("serial and parallel campaign artifacts differ")
+	}
+}

@@ -138,6 +138,93 @@ func Timeline(w io.Writer, events []Event, ranks []int, width int) {
 	}
 }
 
+// CampaignRow is one campaign iteration in the timeline renderer's
+// input: its simulated duration, whether the partitioner ran, and the
+// realized per-rank imbalance. internal/campaign produces these via
+// Report.TraceRows.
+type CampaignRow struct {
+	Iter      int
+	Time      float64 // seconds
+	Replan    bool
+	Imbalance float64
+}
+
+// CampaignTimeline renders an iteration-per-row timeline of a campaign:
+// each row is a bar scaled to the slowest iteration, prefixed with an
+// 'R' marker on replan iterations and annotated with the iteration time
+// and imbalance. Campaigns longer than maxRows are downsampled into
+// equal strides; a stride row reports the mean time, the worst
+// imbalance, and carries the marker if any member replanned.
+func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
+	if width <= 0 {
+		width = 60
+	}
+	if maxRows <= 0 {
+		maxRows = 50
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no iterations)")
+		return
+	}
+	rows = downsample(rows, maxRows)
+	var maxTime float64
+	for _, r := range rows {
+		if r.Time > maxTime {
+			maxTime = r.Time
+		}
+	}
+	if maxTime <= 0 {
+		fmt.Fprintln(w, "(no iterations)")
+		return
+	}
+	fmt.Fprintf(w, "campaign timeline: %d rows, bar = iteration time (max %.2f ms), 'R' = replan\n",
+		len(rows), maxTime*1e3)
+	for _, r := range rows {
+		n := int(r.Time / maxTime * float64(width))
+		if n < 1 {
+			n = 1
+		}
+		if n > width {
+			n = width
+		}
+		marker := ' '
+		if r.Replan {
+			marker = 'R'
+		}
+		fmt.Fprintf(w, "iter %4d %c |%-*s| %8.2f ms  imb %.2f\n",
+			r.Iter, marker, width, strings.Repeat("#", n), r.Time*1e3, r.Imbalance)
+	}
+}
+
+// downsample folds rows into at most maxRows equal strides: mean time,
+// max imbalance, replan if any member replanned, first member's index.
+func downsample(rows []CampaignRow, maxRows int) []CampaignRow {
+	if len(rows) <= maxRows {
+		return rows
+	}
+	stride := (len(rows) + maxRows - 1) / maxRows
+	out := make([]CampaignRow, 0, maxRows)
+	for lo := 0; lo < len(rows); lo += stride {
+		hi := lo + stride
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		agg := CampaignRow{Iter: rows[lo].Iter}
+		for _, r := range rows[lo:hi] {
+			agg.Time += r.Time
+			if r.Replan {
+				agg.Replan = true
+			}
+			if r.Imbalance > agg.Imbalance {
+				agg.Imbalance = r.Imbalance
+			}
+		}
+		agg.Time /= float64(hi - lo)
+		out = append(out, agg)
+	}
+	return out
+}
+
 // RoundStats summarizes per-kind totals and mean durations, mirroring the
 // per-round annotations in Fig. 12 (e.g. "2.18 ms (15->0)").
 type RoundStats struct {

@@ -103,3 +103,62 @@ func TestStats(t *testing.T) {
 		t.Fatal("WriteStats missing compute row")
 	}
 }
+
+func campaignRows(n int) []CampaignRow {
+	rows := make([]CampaignRow, n)
+	for i := range rows {
+		rows[i] = CampaignRow{Iter: i, Time: 0.010 + 0.001*float64(i%5), Replan: i%4 == 0, Imbalance: 1.0 + 0.01*float64(i%3)}
+	}
+	return rows
+}
+
+func TestCampaignTimelineRendersRowsAndMarkers(t *testing.T) {
+	var sb strings.Builder
+	CampaignTimeline(&sb, campaignRows(6), 40, 50)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 iteration rows
+		t.Fatalf("rendered %d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "'R' = replan") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// Iterations 0 and 4 replanned; 1-3 and 5 did not.
+	for i, wantMark := range []bool{true, false, false, false, true, false} {
+		line := lines[i+1]
+		if got := strings.Contains(line, " R |"); got != wantMark {
+			t.Errorf("iter %d replan marker = %v, want %v: %q", i, got, wantMark, line)
+		}
+		if !strings.Contains(line, "#") || !strings.Contains(line, "imb 1.0") {
+			t.Errorf("iter %d row missing bar or imbalance: %q", i, line)
+		}
+	}
+	// The slowest iteration's bar must span the full width.
+	if !strings.Contains(out, "|"+strings.Repeat("#", 40)+"|") {
+		t.Error("no full-width bar for the slowest iteration")
+	}
+}
+
+func TestCampaignTimelineDownsamples(t *testing.T) {
+	var sb strings.Builder
+	CampaignTimeline(&sb, campaignRows(200), 40, 25)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 26 { // header + 25 stride rows
+		t.Fatalf("rendered %d lines, want 26:\n%s", len(lines), out)
+	}
+	// Every stride of 8 contains a replan (period 4), so all rows carry R.
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, " R |") {
+			t.Fatalf("downsampled row lost its replan marker: %q", line)
+		}
+	}
+}
+
+func TestCampaignTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	CampaignTimeline(&sb, nil, 40, 25)
+	if !strings.Contains(sb.String(), "(no iterations)") {
+		t.Fatalf("empty rendering = %q", sb.String())
+	}
+}

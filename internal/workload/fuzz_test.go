@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"zeppelin/internal/seq"
+)
+
+// checkBatchInvariants asserts the contract every sampler shares: the
+// token budget is respected exactly, every sequence is non-degenerate,
+// IDs are dense, and the draw is deterministic per seed.
+func checkBatchInvariants(t *testing.T, name string, sample func(total int, rng *rand.Rand) []seq.Sequence, total int, seedVal int64) {
+	t.Helper()
+	batch := sample(total, rand.New(rand.NewSource(seedVal)))
+	if total <= 0 {
+		if batch != nil {
+			t.Fatalf("%s(total=%d) = %d sequences, want nil", name, total, len(batch))
+		}
+		return
+	}
+	var sum int
+	for i, s := range batch {
+		if s.Len <= 0 {
+			t.Fatalf("%s(total=%d, seed=%d): sequence %d has non-positive length %d", name, total, seedVal, i, s.Len)
+		}
+		if s.ID != i {
+			t.Fatalf("%s(total=%d, seed=%d): sequence %d has ID %d", name, total, seedVal, i, s.ID)
+		}
+		sum += s.Len
+	}
+	if sum != total {
+		t.Fatalf("%s(total=%d, seed=%d): batch sums to %d tokens", name, total, seedVal, sum)
+	}
+	again := sample(total, rand.New(rand.NewSource(seedVal)))
+	if len(again) != len(batch) {
+		t.Fatalf("%s(total=%d, seed=%d): nondeterministic batch size %d vs %d", name, total, seedVal, len(again), len(batch))
+	}
+	for i := range batch {
+		if batch[i] != again[i] {
+			t.Fatalf("%s(total=%d, seed=%d): nondeterministic sequence %d: %+v vs %+v", name, total, seedVal, i, batch[i], again[i])
+		}
+	}
+}
+
+// FuzzBatchInvariants drives every dataset's Batch plus SkewedBatch and
+// BalancedBatch through arbitrary (budget, seed) pairs.
+func FuzzBatchInvariants(f *testing.F) {
+	f.Add(16, int64(0))
+	f.Add(4096, int64(1))
+	f.Add(64<<10, int64(1000))
+	f.Add(256<<10, int64(-7))
+	f.Add(0, int64(3))
+	f.Add(-50, int64(3))
+	f.Add(1, int64(9))
+	f.Add(17, int64(12345))
+	f.Fuzz(func(t *testing.T, total int, seedVal int64) {
+		// Bound the budget so a single fuzz case stays fast; negatives and
+		// zero pass through to exercise the degenerate contract.
+		if total > 1<<21 {
+			total %= 1 << 21
+		}
+		for _, d := range All {
+			checkBatchInvariants(t, d.Name+".Batch", d.Batch, total, seedVal)
+		}
+		checkBatchInvariants(t, "SkewedBatch", SkewedBatch, total, seedVal)
+		checkBatchInvariants(t, "BalancedBatch", BalancedBatch, total, seedVal)
+	})
+}
+
+// FuzzSampleLen asserts drawn lengths always land inside a defined bin
+// of the dataset's support.
+func FuzzSampleLen(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(42))
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, seedVal int64) {
+		rng := rand.New(rand.NewSource(seedVal))
+		for _, d := range All {
+			for i := 0; i < 64; i++ {
+				l := d.SampleLen(rng)
+				bin := BinOf(l)
+				if bin < 0 {
+					t.Fatalf("%s: sampled length %d outside every bin", d.Name, l)
+				}
+				if d.Probs[bin] == 0 {
+					t.Fatalf("%s: sampled length %d in zero-probability bin %d", d.Name, l, bin)
+				}
+			}
+		}
+	})
+}

@@ -168,7 +168,13 @@ func (d Dataset) Batch(totalTokens int, rng *rand.Rand) []seq.Sequence {
 // SkewedBatch reproduces the "Skewed" distribution of Table 3: one very
 // long sequence consuming most of the budget plus several short ones.
 func SkewedBatch(totalTokens int, rng *rand.Rand) []seq.Sequence {
+	if totalTokens <= 0 {
+		return nil
+	}
 	long := totalTokens * 7 / 8
+	if long < 1 {
+		long = totalTokens // degenerate budgets yield one whole sequence
+	}
 	out := []seq.Sequence{{ID: 0, Len: long}}
 	remaining := totalTokens - long
 	id := 1
