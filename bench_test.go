@@ -130,6 +130,17 @@ func BenchmarkFig13Campaign(b *testing.B) {
 	}
 }
 
+func BenchmarkFig14Faults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.Fig14DegradationEdge(res, "straggler"), "straggler-edge-x")
+		b.ReportMetric(experiments.Fig14DegradationEdge(res, "shrink"), "shrink-edge-x")
+	}
+}
+
 func BenchmarkTable3CostDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cols, err := experiments.Table3()

@@ -19,10 +19,15 @@
 // an arrival process (steady, poisson, bursty, drifting mixture, or
 // deterministic trace replay) feeds batches to every compared method
 // while a replanning controller decides when to re-run the partitioner.
+// A -faults scenario (straggler, NIC degradation, fail-stop node loss,
+// elastic shrink/grow) runs the whole stream under a deterministic
+// fault schedule, with fault/recovery markers in the per-iteration
+// records and the rendered timeline.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +37,22 @@ import (
 
 	"zeppelin/internal/campaign"
 	"zeppelin/internal/experiments"
+	"zeppelin/internal/faults"
 	"zeppelin/internal/runner"
 	"zeppelin/internal/trace"
 	"zeppelin/internal/workload"
 )
+
+// usageError marks a flag-validation failure: main prints usage and
+// exits 2, the convention every experiment flag already follows.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usageErrorf(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
 
 func main() {
 	seeds := flag.Int("seeds", 3, "independently sampled batches (or campaigns) averaged per cell; must be >= 1")
@@ -61,6 +78,11 @@ func main() {
 	if args[0] == "campaign" {
 		if err := campaignCmd(os.Stdout, args[1:], *seeds, *workers, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "zeppelin:", err)
+			var ue usageError
+			if errors.As(err, &ue) {
+				flag.Usage()
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		return
@@ -101,14 +123,16 @@ func usage() {
 experiments: %s
 campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -dataset NAME  -drift a,b,c  -policy always|never|threshold|periodic
-                -threshold X  -every N  -replan-cost SECONDS  -json
+                -threshold X  -every N  -replan-cost SECONDS (>= 0)
+                -faults none|straggler|nic|failstop|shrink[:k=v,...]  -json
 `, strings.Join(append(append([]string{}, experimentOrder...), "all"), " "))
 	flag.PrintDefaults()
 }
 
 // experimentOrder is the `all` sequence, in paper order; fig13 (the
-// streaming campaign) extends the evaluation past the paper.
-var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3"}
+// streaming campaign) and fig14 (fault-and-elasticity campaigns) extend
+// the evaluation past the paper.
+var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3"}
 
 func knownExperiment(name string) bool {
 	if name == "all" {
@@ -134,6 +158,7 @@ func dispatch(w io.Writer, name string, opts experiments.Options) error {
 		"fig11":  experiments.WriteFig11,
 		"fig12":  func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig12(w, opts) },
 		"fig13":  experiments.WriteFig13,
+		"fig14":  experiments.WriteFig14,
 		"table3": func(w io.Writer, opts experiments.Options) error { return writeTable3(w, opts) },
 	}
 	if name == "all" {
@@ -184,6 +209,8 @@ func result(name string, opts experiments.Options) (any, error) {
 		return experiments.Fig12Traces(opts)
 	case "fig13":
 		return experiments.Fig13(opts)
+	case "fig14":
+		return experiments.Fig14(opts)
 	case "table3":
 		return experiments.Table3Opts(opts)
 	}
@@ -231,6 +258,7 @@ type campaignArtifact struct {
 	Iters   int                   `json:"iters"`
 	Arrival string                `json:"arrival"`
 	Policy  string                `json:"policy"`
+	Faults  string                `json:"faults,omitempty"`
 	Seeds   int                   `json:"seeds"`
 	Rows    []campaign.RowSummary `json:"rows"`
 	Reports []*campaign.Report    `json:"reports"`
@@ -246,16 +274,21 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	threshold := fs.Float64("threshold", campaign.DefaultThreshold, "imbalance ratio for -policy threshold")
 	every := fs.Int("every", 10, "replan cadence for -policy periodic")
 	replanCost := fs.Float64("replan-cost", campaign.DefaultReplanCost,
-		"seconds charged per replan (negative = free)")
+		"seconds charged per replan; must be >= 0 (0 selects the default)")
+	faultsSpec := fs.String("faults", "none",
+		"fault scenario: none|straggler|nic|failstop|shrink, optionally parameterized as name:key=val,...")
 	subJSON := fs.Bool("json", false, "emit the campaign artifact as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
-		return fmt.Errorf("campaign: unexpected arguments %q", fs.Args())
+		return usageErrorf("campaign: unexpected arguments %q", fs.Args())
 	}
 	if *iters < 1 {
-		return fmt.Errorf("campaign: -iters must be >= 1, got %d", *iters)
+		return usageErrorf("campaign: -iters must be >= 1, got %d", *iters)
+	}
+	if *replanCost < 0 {
+		return usageErrorf("campaign: -replan-cost must be >= 0, got %v", *replanCost)
 	}
 	jsonOut = jsonOut || *subJSON
 
@@ -267,24 +300,32 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		for _, name := range strings.Split(*driftPath, ",") {
 			d, err := workload.ByName(strings.TrimSpace(name))
 			if err != nil {
-				return err
+				return usageError{err}
 			}
 			path = append(path, d)
 		}
 	} else {
 		var err error
 		if base, err = workload.ByName(*datasetName); err != nil {
-			return err
+			return usageError{err}
 		}
 	}
 	cell := experiments.CampaignCell(0)
 	arrival, err := campaign.ArrivalByName(*arrivalName, base, path, *iters, cell.TotalTokens())
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	policy, err := campaign.PolicyByName(*policyName, *threshold, *every)
 	if err != nil {
-		return err
+		return usageError{err}
+	}
+	espec := cell.EffectiveSpec()
+	schedule, err := faults.ByName(*faultsSpec, *iters, cell.Nodes, espec.GPUsPerNode)
+	if err != nil {
+		return usageError{err}
+	}
+	if err := schedule.Validate(cell.Nodes, espec.GPUsPerNode, espec.NICsPerNode); err != nil {
+		return usageError{err}
 	}
 
 	// Row-major (method × seed) grid through the shared grid runner,
@@ -300,6 +341,7 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 				Arrival:    arrival,
 				Policy:     policy,
 				ReplanCost: *replanCost,
+				Faults:     schedule,
 			})
 		}
 	}
@@ -309,6 +351,9 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	}
 
 	art := campaignArtifact{Iters: *iters, Arrival: arrival.Name(), Policy: policy.Name(), Seeds: seeds}
+	if schedule != nil {
+		art.Faults = schedule.Name
+	}
 	for m := range methods {
 		cell := reports[m*seeds : (m+1)*seeds]
 		art.Rows = append(art.Rows, campaign.Summarize(cell))
@@ -320,8 +365,12 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		enc.SetIndent("", "  ")
 		return enc.Encode(art)
 	}
-	fmt.Fprintf(w, "streaming campaign: %d iterations, arrival %s, policy %s, %d seed(s)\n\n",
-		art.Iters, art.Arrival, art.Policy, art.Seeds)
+	label := ""
+	if art.Faults != "" {
+		label = ", faults " + art.Faults
+	}
+	fmt.Fprintf(w, "streaming campaign: %d iterations, arrival %s, policy %s%s, %d seed(s)\n\n",
+		art.Iters, art.Arrival, art.Policy, label, art.Seeds)
 	campaign.WriteRowTable(w, art.Rows)
 	// Timeline of the last method's (Zeppelin's) seed-0 campaign.
 	last := art.Reports[len(art.Reports)-1]

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// wantUsage asserts campaignCmd rejects the flags with a usageError —
+// the class main surfaces as exit 2 plus usage, per the repository's
+// flag-validation convention.
+func wantUsage(t *testing.T, args []string, substr string) {
+	t.Helper()
+	err := campaignCmd(io.Discard, args, 1, 1, false)
+	if err == nil {
+		t.Fatalf("args %v must fail", args)
+	}
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("args %v: error %v is not a usage error", args, err)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("args %v: error %q does not mention %q", args, err, substr)
+	}
+}
+
+func TestCampaignCmdRejectsInvalidFlags(t *testing.T) {
+	wantUsage(t, []string{"-replan-cost", "-0.5"}, "-replan-cost")
+	wantUsage(t, []string{"-iters", "0"}, "-iters")
+	wantUsage(t, []string{"-faults", "bogus"}, "unknown scenario")
+	wantUsage(t, []string{"-faults", "straggler:x=abc"}, "parameter")
+	wantUsage(t, []string{"-faults", "straggler:nope=3"}, "does not take key")
+	wantUsage(t, []string{"-faults", "straggler:rank=99"}, "outside world")
+	wantUsage(t, []string{"-faults", "shrink:node=7"}, "outside")
+	wantUsage(t, []string{"-arrival", "warp"}, "unknown arrival")
+	wantUsage(t, []string{"-policy", "vibes"}, "unknown replan policy")
+	wantUsage(t, []string{"-dataset", "imaginary"}, "unknown")
+	wantUsage(t, []string{"extra-positional"}, "unexpected arguments")
+}
+
+func TestCampaignCmdRunsFaultedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	var sb strings.Builder
+	err := campaignCmd(&sb, []string{"-iters", "6", "-faults", "straggler:from=2,to=4"}, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"faults straggler", "straggler:rank4", "'S' = straggler/NIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+}

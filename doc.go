@@ -21,8 +21,12 @@
 //   - internal/runner     — concurrent, memoizing experiment engine
 //   - internal/campaign   — streaming multi-iteration campaigns: arrival
 //     processes, online re-planning policies, per-iteration metrics
+//   - internal/faults     — deterministic fault-and-elasticity schedules:
+//     stragglers, NIC degradation, fail-stop node loss with
+//     checkpoint-restart, planned elastic shrink/grow with Eq. 2 state
+//     migration
 //   - internal/experiments— regenerators for every paper table and figure,
-//     plus the fig13 streaming-campaign comparison
+//     plus the fig13 streaming-campaign and fig14 fault comparisons
 //   - internal/trace      — Fig. 12-style timeline and campaign rendering
 //
 // See README.md for a tour and DESIGN.md for the system inventory and the

@@ -120,10 +120,24 @@ func (en *Engine) emitRing(ring seq.Ring, p pass, deps []*sim.Task, lastComp []*
 	g := ring.G()
 	s := float64(ring.Seq.Len)
 	// 2G-chunk causal balancing: every rank computes an equal share of
-	// the triangle each round. Each round also pays the fixed chunked-
-	// execution overhead (sync + softmax rescale + launch).
-	perRound := en.CM.AttnTimePairs(model.CausalPairs(s)/float64(g*g))*p.computeMul +
-		costmodel.RingRoundOverhead
+	// the triangle each round — or its weighted share when the ring
+	// carries speed-aware weights (each rank owns PairShares[i] pairs
+	// total, spread over the G rounds; KV circulation stays even). Each
+	// round also pays the fixed chunked-execution overhead (sync +
+	// softmax rescale + launch).
+	perRound := make([]float64, g)
+	if ring.Weights == nil {
+		even := en.CM.AttnTimePairs(model.CausalPairs(s)/float64(g*g))*p.computeMul +
+			costmodel.RingRoundOverhead
+		for i := range perRound {
+			perRound[i] = even
+		}
+	} else {
+		for i, share := range ring.PairShares() {
+			perRound[i] = en.CM.AttnTimePairs(share/float64(g))*p.computeMul +
+				costmodel.RingRoundOverhead
+		}
+	}
 	blockBytes := en.CM.KVBytes(s/float64(g)) * p.commMul
 
 	// have[i] is the task whose completion delivers the KV block rank i
@@ -145,7 +159,7 @@ func (en *Engine) emitRing(ring seq.Ring, p pass, deps []*sim.Task, lastComp []*
 			}
 			comp := en.F.ComputeTask(
 				fmt.Sprintf("attn-%s/ring%d/r%d/comp@%d", p.name, ring.Seq.ID, t, rank),
-				rank, perRound)
+				rank, perRound[i])
 			comp.After(deps...)
 			comp.After(have[i])        // wait for this round's KV block
 			comp.After(lastComp[rank]) // keep the compute stream ordered

@@ -289,9 +289,12 @@ func (HybridDP) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement,
 	for _, s := range sorted {
 		// Group size: enough ranks that the sequence's per-rank share is
 		// near the target, rounded up to a power of two, and capped both
-		// by the world and by per-rank memory.
+		// by the world and by per-rank memory. The doubling stops while a
+		// full aligned block still fits — on non-power-of-two worlds
+		// (e.g. 3 nodes of 8) the group caps at the largest power of two
+		// that fits instead of overrunning the rank range.
 		g := 1
-		for g < world && (cost(s)/float64(g) > target ||
+		for g*2 <= world && (cost(s)/float64(g) > target ||
 			s.Len/g > env.MemoryTokens) {
 			g *= 2
 		}

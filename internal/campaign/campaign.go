@@ -14,6 +14,15 @@
 // Campaigns are deterministic per (Config, seed): all randomness flows
 // from one sequential RNG, so fanning campaigns across seeds or methods
 // with internal/runner.ForEach is bit-identical to running them serially.
+//
+// A campaign can additionally run under a fault-and-elasticity schedule
+// (internal/faults): per-rank straggler windows and NIC degradations
+// flow into the iteration's simulation as an effective-speed cluster
+// view, elastic shrink/grow events resize the active cluster
+// mid-campaign (migrating sequence state through the Eq. 2 remapping
+// solver, or paying a checkpoint restart on fail-stop), and the
+// replanning controller sees speed-weighted projections for methods
+// that re-plan against the degraded view.
 package campaign
 
 import (
@@ -21,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"zeppelin/internal/faults"
 	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 	"zeppelin/internal/trainer"
@@ -33,6 +43,17 @@ import (
 // them and they never pay a staleness penalty. TE CP and LLaMA CP opt in.
 type ShapeIndependent interface {
 	ShapeIndependent() bool
+}
+
+// SpeedAware is implemented by methods that re-plan against the degraded
+// effective-speed cluster view (Zeppelin opts in): their fresh-plan and
+// stale-plan projections weight rank loads by slowdown, so straggler
+// onset raises the projected stale imbalance and triggers replanning.
+// Speed-oblivious methods keep homogeneous projections — replanning
+// would not route them around a straggler, and the controller should
+// not thrash trying.
+type SpeedAware interface {
+	SpeedAware() bool
 }
 
 // Config describes one campaign: the cluster/model cell, the method
@@ -57,6 +78,16 @@ type Config struct {
 	// seconds (routing the batch through the frozen skeleton). Zero
 	// selects DefaultReuseOverhead; a negative value means free.
 	ReuseOverhead float64
+	// Faults is the fault-and-elasticity schedule the campaign runs
+	// under; nil means a healthy fixed-size cluster (bit-identical to
+	// pre-fault-layer campaigns).
+	Faults *faults.Schedule
+	// MigrateBytesPerToken scales elastic state migrations: bytes of
+	// resident sequence state per token shipped through the Eq. 2 solver
+	// on planned shrink/grow transitions. Zero derives the model's KV
+	// footprint (2 × hidden × bytes × layers / TP); negative means
+	// migrations are free.
+	MigrateBytesPerToken float64
 }
 
 // Default iteration charges; see Config.ReplanCost / Config.ReuseOverhead.
@@ -94,6 +125,20 @@ func (c *Config) Validate() error {
 	case c.ReuseOverhead < 0:
 		c.ReuseOverhead = 0
 	}
+	if c.Faults != nil {
+		espec := c.Trainer.EffectiveSpec()
+		if err := c.Faults.Validate(c.Trainer.Nodes, espec.GPUsPerNode, espec.NICsPerNode); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.MigrateBytesPerToken == 0:
+		c.MigrateBytesPerToken = 2 * float64(c.Trainer.Model.Hidden) *
+			float64(c.Trainer.Model.BytesPerElem) * float64(c.Trainer.Model.Layers) /
+			float64(c.Trainer.TP)
+	case c.MigrateBytesPerToken < 0:
+		c.MigrateBytesPerToken = 0
+	}
 	return nil
 }
 
@@ -103,6 +148,12 @@ func (c *Config) shapeIndependent() bool {
 	return ok && si.ShapeIndependent()
 }
 
+// speedAware reports whether the method re-plans against degraded views.
+func (c *Config) speedAware() bool {
+	sa, ok := c.Method.(SpeedAware)
+	return ok && sa.SpeedAware()
+}
+
 // Run executes the campaign and returns its report. The loop is serial
 // by construction — iteration t+1's controller state depends on t — so
 // parallelism lives one level up, across (method × policy × seed) cells.
@@ -110,27 +161,68 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	world := cfg.Trainer.GPUs() / cfg.Trainer.TP
+	espec := cfg.Trainer.EffectiveSpec()
+	rpn := espec.GPUsPerNode // DP ranks per node
+	baseWorld := cfg.Trainer.GPUs() / cfg.Trainer.TP
 	capacity := int(cfg.Trainer.CapacityFactor * float64(cfg.Trainer.TokensPerGPU*cfg.Trainer.TP))
 	baseTokens := cfg.Trainer.TotalTokens()
 	shapeIndep := cfg.shapeIndependent()
+	speedAware := cfg.speedAware()
 	layers := float64(cfg.Trainer.Model.Layers)
 
 	rng := rand.New(rand.NewSource(cfg.Trainer.Seed))
 	report := &Report{Records: make([]IterRecord, 0, cfg.Iters)}
-	busySum := make([]float64, world)
+	busySum := make([]float64, baseWorld)
 	var spanSum float64
 
 	var stale *slotPlan
 	sinceReplan := 0
+	prevTokens := 0
 	for it := 0; it < cfg.Iters; it++ {
+		// Resolve the iteration's cluster state under the fault schedule:
+		// active node count, effective-speed view, transition events.
+		view := faults.View{Nodes: cfg.Trainer.Nodes, PrevNodes: cfg.Trainer.Nodes}
+		if cfg.Faults != nil {
+			view = cfg.Faults.At(it, cfg.Trainer.Nodes, rpn, espec.NICsPerNode)
+		}
+		world := view.Nodes * rpn
+		var recovery float64
+		if view.Resized {
+			// Elastic transition: the stale skeleton addresses a rank set
+			// that no longer exists; every shape-dependent method must
+			// replan. Fail-stop loses state and pays the checkpoint
+			// restart; planned shrink/grow migrates it through Eq. 2.
+			stale = nil
+			if view.FailStop {
+				recovery += cfg.Faults.Restart()
+			} else {
+				_, mig, err := faults.Migration(espec, view.PrevNodes, view.Nodes,
+					prevTokens, cfg.MigrateBytesPerToken)
+				if err != nil {
+					return nil, fmt.Errorf("campaign: iteration %d migration: %w", it, err)
+				}
+				recovery += mig
+			}
+		}
+		// Speed-aware methods project plans against the degraded view;
+		// oblivious ones keep homogeneous projections (replanning would
+		// not help them around a straggler).
+		var slow []float64
+		if speedAware && view.Health.Degraded() {
+			slow = make([]float64, world)
+			for r := range slow {
+				slow[r] = view.Health.SlowOf(r)
+			}
+		}
+
 		batch := cfg.Arrival.Batch(it, baseTokens, rng)
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
 		}
 		// Admission control: no iteration can place more tokens than the
 		// partitioners' total capacity, so overload arrivals (bursts,
-		// Poisson spikes) are trimmed to fit and the excess is deferred —
+		// Poisson spikes) — and nominal arrivals landing on an elastically
+		// shrunk cluster — are trimmed to fit and the excess is deferred;
 		// in a real system those samples re-enter the stream later.
 		batch, deferred := admit(batch, world*capacity)
 
@@ -142,10 +234,10 @@ func Run(cfg Config) (*Report, error) {
 		var staleImb float64
 		replan := false
 		if !shapeIndep {
-			fresh = buildSlotPlan(batch, world, capacity)
+			fresh = buildSlotPlan(batch, world, capacity, slow)
 			staleImb = fresh.imbalance
 			if stale != nil {
-				staleImb = stale.fill(batch)
+				staleImb = stale.fill(batch, slow)
 			}
 			replan = stale == nil || cfg.Policy.ShouldReplan(PolicyState{
 				Iter:           it,
@@ -156,8 +248,12 @@ func Run(cfg Config) (*Report, error) {
 		}
 
 		// The fresh reference simulation: full fidelity for the plan the
-		// partitioner would produce on this batch.
-		res, err := trainer.Run(cfg.Trainer, cfg.Method, batch)
+		// partitioner would produce on this batch, on the active cluster,
+		// under the iteration's effective-speed view.
+		tcfg := cfg.Trainer
+		tcfg.Nodes = view.Nodes
+		tcfg.Health = view.Health
+		res, err := trainer.Run(tcfg, cfg.Method, batch)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: iteration %d: %w", it, err)
 		}
@@ -170,6 +266,11 @@ func Run(cfg Config) (*Report, error) {
 			Seqs:     len(batch),
 			Deferred: deferred,
 			Penalty:  1,
+			Recovery: recovery,
+			Events:   view.Events,
+		}
+		if cfg.Faults != nil {
+			rec.World = world
 		}
 		span := res.LayerTime
 		switch {
@@ -198,9 +299,11 @@ func Run(cfg Config) (*Report, error) {
 			rec.Imbalance = realizedImb * penalty
 			sinceReplan++
 		}
+		rec.Time += recovery
 		if rec.Time > 0 {
 			rec.TokensPerSec = float64(rec.Tokens) / rec.Time
 		}
+		prevTokens = rec.Tokens
 
 		// Utilization: busy fraction of the (possibly stretched) layer span.
 		var util float64
@@ -221,7 +324,7 @@ func Run(cfg Config) (*Report, error) {
 		report.Records = append(report.Records, rec)
 	}
 
-	report.PerRankUtil = make([]float64, world)
+	report.PerRankUtil = make([]float64, baseWorld)
 	if spanSum > 0 {
 		for r := range busySum {
 			f := busySum[r] / spanSum

@@ -237,8 +237,8 @@ func TestSlotPlanFillMatchesBuildOnSameBatch(t *testing.T) {
 		{ID: 0, Len: 30 << 10}, {ID: 1, Len: 8 << 10}, {ID: 2, Len: 4 << 10},
 		{ID: 3, Len: 2 << 10}, {ID: 4, Len: 1 << 10},
 	}
-	sp := buildSlotPlan(batch, 8, 5120)
-	if got := sp.fill(batch); got != sp.imbalance {
+	sp := buildSlotPlan(batch, 8, 5120, nil)
+	if got := sp.fill(batch, nil); got != sp.imbalance {
 		t.Fatalf("filling a plan with its own batch: imbalance %v != %v", got, sp.imbalance)
 	}
 	if sp.imbalance < 1 {
@@ -247,11 +247,11 @@ func TestSlotPlanFillMatchesBuildOnSameBatch(t *testing.T) {
 }
 
 func TestSlotPlanOverflowFallsBackToLocal(t *testing.T) {
-	sp := buildSlotPlan([]seq.Sequence{{ID: 0, Len: 4096}}, 4, 8192)
+	sp := buildSlotPlan([]seq.Sequence{{ID: 0, Len: 4096}}, 4, 8192, nil)
 	// Twice as many sequences as slots: the extras go greedy-local and
 	// the projection stays finite and ≥ 1.
 	batch := []seq.Sequence{{ID: 0, Len: 4096}, {ID: 1, Len: 4096}}
-	if imb := sp.fill(batch); imb < 1 {
+	if imb := sp.fill(batch, nil); imb < 1 {
 		t.Fatalf("overflow imbalance %v < 1", imb)
 	}
 }

@@ -1,0 +1,271 @@
+package campaign
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"zeppelin/internal/baselines"
+	"zeppelin/internal/faults"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
+)
+
+// twoNodeCell is a 2-node campaign cell for elastic tests (the 1-node
+// testCell cannot shrink).
+func twoNodeCell(seed int64) (cfg Config) {
+	cfg.Trainer = testCell(seed)
+	cfg.Trainer.Nodes = 2
+	return cfg
+}
+
+func TestFaultedCampaignNilScheduleIsIdentical(t *testing.T) {
+	// A campaign with no fault schedule must be byte-identical to one
+	// run before the fault layer existed — the fault branches are fully
+	// gated. (The fig13 golden pins this globally; here we pin the
+	// JSON bytes of a small cell for a fast local signal.)
+	base := Config{
+		Trainer: testCell(3), Method: zeppelin.Full(), Iters: 8,
+		Arrival: driftArrival(8), Policy: Threshold{},
+	}
+	rep1 := runCampaign(t, base)
+	withNil := base
+	withNil.Faults = nil
+	rep2 := runCampaign(t, withNil)
+	a, _ := json.Marshal(rep1)
+	b, _ := json.Marshal(rep2)
+	if string(a) != string(b) {
+		t.Fatal("nil-schedule campaign differs from plain campaign")
+	}
+	for _, rec := range rep1.Records {
+		if rec.World != 0 || rec.Recovery != 0 || len(rec.Events) != 0 {
+			t.Fatalf("healthy campaign leaked fault fields: %+v", rec)
+		}
+	}
+}
+
+func TestStragglerChargesTimeAndMarksEvents(t *testing.T) {
+	const iters = 10
+	sched := &faults.Schedule{
+		Name:       "straggler",
+		Stragglers: []faults.Straggler{{Rank: 2, Factor: 2.5, From: 3, To: 7}},
+	}
+	cfg := Config{
+		Trainer: testCell(5), Method: baselines.TECP{}, Iters: iters,
+		Arrival: Steady{D: workload.ArXiv}, Policy: Threshold{},
+	}
+	healthy := runCampaign(t, cfg)
+	cfg.Faults = sched
+	faulted := runCampaign(t, cfg)
+
+	for i := 0; i < iters; i++ {
+		h, f := healthy.Records[i], faulted.Records[i]
+		inWindow := i >= 3 && i < 7
+		if inWindow && f.Time <= h.Time {
+			t.Errorf("iteration %d: straggler did not slow TE CP (%v <= %v)", i, f.Time, h.Time)
+		}
+		if !inWindow && f.Time != h.Time {
+			t.Errorf("iteration %d: fault leaked outside its window (%v != %v)", i, f.Time, h.Time)
+		}
+	}
+	if ev := faulted.Records[3].Events; len(ev) != 1 || ev[0] != "straggler:rank2 x2.5" {
+		t.Fatalf("onset marker missing: %v", faulted.Records[3].Events)
+	}
+	if ev := faulted.Records[7].Events; len(ev) != 1 || ev[0] != "recovered:rank2" {
+		t.Fatalf("recovery marker missing: %v", ev)
+	}
+	if faulted.Summary.FaultEvents != 2 {
+		t.Fatalf("summary counted %d fault events, want 2", faulted.Summary.FaultEvents)
+	}
+}
+
+func TestSpeedAwareZeppelinAbsorbsStragglerBetterThanTECP(t *testing.T) {
+	const iters = 8
+	sched := &faults.Schedule{
+		Name:       "straggler",
+		Stragglers: []faults.Straggler{{Rank: 2, Factor: 2.5, From: 0, To: iters}},
+	}
+	ratio := func(m trainer.Method) float64 {
+		cfg := Config{
+			Trainer: testCell(5), Method: m, Iters: iters,
+			Arrival: Steady{D: workload.ArXiv}, Policy: Threshold{},
+		}
+		healthy := runCampaign(t, cfg).Summary.TokensPerSec
+		cfg.Faults = sched
+		faulted := runCampaign(t, cfg).Summary.TokensPerSec
+		return faulted / healthy
+	}
+	teRatio := ratio(baselines.TECP{})
+	zepRatio := ratio(zeppelin.Full())
+	// Speed-aware replanning must beat the rigid even split, and absorb
+	// most of the single straggler (7 healthy ranks have the capacity
+	// slack to take its load).
+	if zepRatio <= teRatio {
+		t.Fatalf("Zeppelin ratio %.3f must exceed TE CP's %.3f under a persistent straggler", zepRatio, teRatio)
+	}
+	if zepRatio < 0.8 {
+		t.Errorf("Zeppelin straggler ratio %.3f, want near-full absorption", zepRatio)
+	}
+}
+
+func TestElasticShrinkResizesWorldAndMigrates(t *testing.T) {
+	const iters = 12
+	sched := &faults.Schedule{
+		Name:    "shrink",
+		Outages: []faults.NodeOutage{{Node: 1, From: 4, To: 8}},
+	}
+	cfg := twoNodeCell(9)
+	cfg.Method = zeppelin.Full()
+	cfg.Iters = iters
+	cfg.Arrival = Steady{D: workload.ArXiv}
+	cfg.Policy = Threshold{}
+	cfg.Faults = sched
+	rep := runCampaign(t, cfg)
+
+	for i, rec := range rep.Records {
+		wantWorld := 16
+		if i >= 4 && i < 8 {
+			wantWorld = 8
+		}
+		if rec.World != wantWorld {
+			t.Errorf("iteration %d world = %d, want %d", i, rec.World, wantWorld)
+		}
+	}
+	// Both transitions are planned: each charges a migration, not a restart.
+	if r := rep.Records[4].Recovery; r <= 0 || r >= faults.DefaultRestartCost {
+		t.Errorf("shrink migration charge %v out of range", r)
+	}
+	if r := rep.Records[8].Recovery; r <= 0 || r >= faults.DefaultRestartCost {
+		t.Errorf("grow migration charge %v out of range", r)
+	}
+	// The shrunk iterations must defer the arrivals that no longer fit.
+	for i := 4; i < 8; i++ {
+		if rep.Records[i].Deferred == 0 {
+			t.Errorf("iteration %d: full arrival on a half cluster must defer tokens", i)
+		}
+	}
+	// Transitions force replans (the stale skeleton addresses dead ranks).
+	if !rep.Records[4].Replanned || !rep.Records[8].Replanned {
+		t.Fatal("elastic transitions must force a replan")
+	}
+	if rep.Summary.RecoverySeconds <= 0 {
+		t.Fatal("summary must accumulate migration time")
+	}
+}
+
+func TestFailStopChargesRestartInsteadOfMigration(t *testing.T) {
+	const iters = 10
+	sched := &faults.Schedule{
+		Name:    "failstop",
+		Outages: []faults.NodeOutage{{Node: 1, From: 3, To: 7, FailStop: true}},
+	}
+	cfg := twoNodeCell(11)
+	cfg.Method = baselines.TECP{}
+	cfg.Iters = iters
+	cfg.Arrival = Steady{D: workload.ArXiv}
+	cfg.Policy = Threshold{}
+	cfg.Faults = sched
+	rep := runCampaign(t, cfg)
+
+	if r := rep.Records[3].Recovery; r != faults.DefaultRestartCost {
+		t.Fatalf("fail-stop charged %v, want the %v restart", r, faults.DefaultRestartCost)
+	}
+	// The rejoin is planned: migration cost, far below a restart.
+	if r := rep.Records[7].Recovery; r <= 0 || r >= faults.DefaultRestartCost {
+		t.Fatalf("rejoin charged %v, want a (cheap) migration", r)
+	}
+	if ev := rep.Records[3].Events; len(ev) != 1 || ev[0] != "fail:node1" {
+		t.Fatalf("fail marker wrong: %v", ev)
+	}
+	if ev := rep.Records[7].Events; len(ev) != 1 || ev[0] != "rejoin:node1" {
+		t.Fatalf("rejoin marker wrong: %v", ev)
+	}
+}
+
+// TestFaultedCampaignDeterministicAcrossPools is the campaign
+// determinism acceptance test: identical fault-schedule campaigns must
+// be bit-identical for every worker-pool size — run it under -race (CI
+// does) to also prove the grid is data-race free.
+func TestFaultedCampaignDeterministicAcrossPools(t *testing.T) {
+	const iters = 10
+	sched := &faults.Schedule{
+		Name:       "mixed",
+		Stragglers: []faults.Straggler{{Rank: 1, Factor: 2, From: 2, To: 8}},
+		NICFaults:  []faults.NICFault{{NIC: 1, Factor: 0.5, From: 3, To: 6}},
+		Outages:    []faults.NodeOutage{{Node: 1, From: 6, To: 9}},
+	}
+	var cfgs []Config
+	for _, seed := range []int64{1, 2} {
+		for _, m := range []interface{}{baselines.TECP{}, zeppelin.Full()} {
+			cfg := twoNodeCell(seed)
+			switch v := m.(type) {
+			case baselines.TECP:
+				cfg.Method = v
+			case zeppelin.Method:
+				cfg.Method = v
+			}
+			cfg.Iters = iters
+			cfg.Arrival = Steady{D: workload.ArXiv}
+			cfg.Policy = Threshold{}
+			cfg.Faults = sched
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		reports, err := RunGrid(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if string(blobs[i]) != string(blobs[0]) {
+			t.Fatalf("fault-schedule campaign differs between pool sizes 1 and %d", []int{1, 4, runtime.GOMAXPROCS(0)}[i])
+		}
+	}
+}
+
+func TestRecoveryIters(t *testing.T) {
+	recs := make([]IterRecord, 10)
+	for i := range recs {
+		recs[i].TokensPerSec = 100
+	}
+	// Degraded iterations 4..7.
+	for i := 4; i < 8; i++ {
+		recs[i].TokensPerSec = 50
+	}
+	if got := RecoveryIters(recs, 4, 1.1); got != 4 {
+		t.Fatalf("RecoveryIters = %d, want 4", got)
+	}
+	// Within the band: no degradation counted.
+	for i := 4; i < 8; i++ {
+		recs[i].TokensPerSec = 95
+	}
+	if got := RecoveryIters(recs, 4, 1.1); got != 0 {
+		t.Fatalf("RecoveryIters = %d, want 0", got)
+	}
+	// Degenerate baselines.
+	if RecoveryIters(recs, 0, 1.1) != 0 || RecoveryIters(recs, len(recs), 1.1) != 0 {
+		t.Fatal("degenerate baselines must be 0")
+	}
+}
+
+func TestConfigValidatesFaultSchedule(t *testing.T) {
+	cfg := twoNodeCell(1)
+	cfg.Method = zeppelin.Full()
+	cfg.Iters = 4
+	cfg.Faults = &faults.Schedule{Outages: []faults.NodeOutage{{Node: 5, From: 0, To: 2}}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range outage node must fail validation")
+	}
+	cfg.Faults = &faults.Schedule{Stragglers: []faults.Straggler{{Rank: 99, Factor: 2, From: 0, To: 2}}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range straggler rank must fail validation")
+	}
+}

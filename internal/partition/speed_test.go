@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/seq"
+)
+
+// effectiveImbalance scores a plan on a degraded cluster: max/mean of
+// per-rank causal-pair load multiplied by each rank's slowdown.
+func effectiveImbalance(p *seq.Plan, slow []float64) float64 {
+	load := p.PairsPerRank()
+	var sum, max float64
+	for r, l := range load {
+		eff := l * slow[r]
+		sum += eff
+		if eff > max {
+			max = eff
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(load)))
+}
+
+// Speed-aware planning must (a) stay valid — conservation and structure
+// are checked by Plan.Validate — and (b) produce a strictly better
+// effective time balance on the degraded cluster than oblivious
+// planning, across randomized batches.
+func TestSpeedAwarePlanningImprovesEffectiveBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := cluster.MustNew(cluster.ClusterA, 2)
+	const capTok = 5120
+	world := c.World()
+
+	wins, rounds := 0, 0
+	for iter := 0; iter < 40; iter++ {
+		slow := make([]float64, world)
+		speeds := make([]float64, world)
+		for r := range slow {
+			slow[r] = 1
+		}
+		straggler := rng.Intn(world)
+		slow[straggler] = 1.5 + 2*rng.Float64()
+		for r := range speeds {
+			speeds[r] = 1 / slow[r]
+		}
+
+		var batch []seq.Sequence
+		remaining := world * capTok * 3 / 4
+		for id := 0; remaining > 256; id++ {
+			l := 256 + rng.Intn(8192)
+			if l > remaining {
+				l = remaining
+			}
+			batch = append(batch, seq.Sequence{ID: id, Len: l})
+			remaining -= l
+		}
+
+		oblivious, err := New(Config{Cluster: c, CapacityTokens: capTok})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obRes, err := oblivious.Plan(batch)
+		if err != nil {
+			t.Fatalf("iter %d oblivious: %v", iter, err)
+		}
+		aware, err := New(Config{Cluster: c, CapacityTokens: capTok, Speeds: speeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		awRes, err := aware.Plan(batch)
+		if err != nil {
+			t.Fatalf("iter %d aware: %v", iter, err)
+		}
+		if err := awRes.Plan.Validate(batch); err != nil {
+			t.Fatalf("iter %d: speed-aware plan invalid: %v", iter, err)
+		}
+		rounds++
+		if effectiveImbalance(awRes.Plan, slow) < effectiveImbalance(obRes.Plan, slow) {
+			wins++
+		}
+	}
+	// The heuristic will not win every draw (tiny batches, straggler on
+	// an already-idle rank), but it must win decisively in aggregate.
+	if wins*10 < rounds*8 {
+		t.Fatalf("speed-aware planning beat oblivious on only %d/%d batches", wins, rounds)
+	}
+}
+
+func TestSpeedAwareValidation(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 1)
+	if _, err := New(Config{Cluster: c, CapacityTokens: 4096, Speeds: []float64{1, 1}}); err == nil {
+		t.Fatal("speed vector shorter than the world must fail")
+	}
+	bad := make([]float64, c.World())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[3] = 0
+	if _, err := New(Config{Cluster: c, CapacityTokens: 4096, Speeds: bad}); err == nil {
+		t.Fatal("non-positive speed must fail")
+	}
+}
+
+// With speeds set, a strong straggler ends up with strictly less token
+// load than the fastest rank on a local-heavy batch.
+func TestSpeedAwareDrainsStraggler(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 1)
+	const capTok = 5120
+	world := c.World()
+	speeds := make([]float64, world)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[2] = 0.4 // 2.5x slow
+
+	var batch []seq.Sequence
+	for id := 0; id < 24; id++ {
+		batch = append(batch, seq.Sequence{ID: id, Len: 1024})
+	}
+	p, err := New(Config{Cluster: c, CapacityTokens: capTok, Speeds: speeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := res.Plan.TokensPerRank()
+	var maxOther int
+	for r, v := range tok {
+		if r != 2 && v > maxOther {
+			maxOther = v
+		}
+	}
+	if tok[2] >= maxOther {
+		t.Fatalf("straggler holds %d tokens, busiest healthy rank %d — not drained: %v", tok[2], maxOther, tok)
+	}
+}

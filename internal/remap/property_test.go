@@ -1,0 +1,250 @@
+package remap
+
+import (
+	"math/rand"
+	"testing"
+
+	"zeppelin/internal/cluster"
+)
+
+// randomCluster draws a small deployment, biased toward multi-node
+// shapes where the intra/inter cost split matters.
+func randomCluster(rng *rand.Rand) *cluster.Cluster {
+	specs := []cluster.Spec{cluster.ClusterA, cluster.ClusterB, cluster.ClusterC}
+	return cluster.MustNew(specs[rng.Intn(len(specs))], 1+rng.Intn(4))
+}
+
+// randomTokens draws a non-negative token vector with occasional zeros
+// and heavy skew — the shapes elastic transitions produce.
+func randomTokens(rng *rand.Rand, world int) []int {
+	out := make([]int, world)
+	for i := range out {
+		switch rng.Intn(4) {
+		case 0: // drained / joining rank
+		case 1:
+			out[i] = rng.Intn(64)
+		case 2:
+			out[i] = 1024 + rng.Intn(8192)
+		default:
+			out[i] = rng.Intn(32768)
+		}
+	}
+	return out
+}
+
+// randomTarget redistributes the same total over a random subset of the
+// ranks — a randomized elastic rank-set change (survivors arbitrary,
+// leavers at zero).
+func randomTarget(rng *rand.Rand, tokens []int) []int {
+	var total int
+	for _, t := range tokens {
+		total += t
+	}
+	target := make([]int, len(tokens))
+	alive := make([]int, 0, len(tokens))
+	for i := range target {
+		if rng.Intn(3) != 0 { // ~2/3 of ranks survive
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		alive = append(alive, rng.Intn(len(tokens)))
+	}
+	remaining := total
+	for n, i := range alive {
+		if n == len(alive)-1 {
+			target[i] = remaining
+			break
+		}
+		take := 0
+		if remaining > 0 {
+			take = rng.Intn(remaining + 1)
+		}
+		target[i] = take
+		remaining -= take
+	}
+	return target
+}
+
+// Property: for any token layout and any feasible target — including
+// randomized elastic rank-set changes that zero out leaving ranks —
+// SolveTarget conserves every token: applying the plan's transfers to
+// the input layout lands exactly on the target, with no negative
+// intermediate amounts.
+func TestPropertySolveTargetConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		c := randomCluster(rng)
+		tokens := randomTokens(rng, c.World())
+		target := randomTarget(rng, tokens)
+		p, err := SolveTarget(tokens, target, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		got := Apply(tokens, p)
+		for r := range got {
+			if got[r] != target[r] {
+				t.Fatalf("iter %d: rank %d has %d tokens after apply, want %d (tokens=%v target=%v)",
+					iter, r, got[r], target[r], tokens, target)
+			}
+		}
+		for _, tr := range p.Transfers {
+			if tr.Tokens <= 0 {
+				t.Fatalf("iter %d: degenerate transfer %+v", iter, tr)
+			}
+			if tr.From == tr.To {
+				t.Fatalf("iter %d: self transfer %+v", iter, tr)
+			}
+		}
+	}
+}
+
+// Property: remapping is idempotent — a layout already at its target
+// needs no transfers, and re-solving from the result of a previous plan
+// produces the empty plan. The elastic path relies on this: migrating
+// twice must not bounce tokens around.
+func TestPropertyRemapIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 120; iter++ {
+		c := randomCluster(rng)
+		tokens := randomTokens(rng, c.World())
+		target := randomTarget(rng, tokens)
+		p, err := SolveTarget(tokens, target, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		again, err := SolveTarget(Apply(tokens, p), target, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d resolve: %v", iter, err)
+		}
+		if len(again.Transfers) != 0 || again.MaxSenderCost != 0 || again.InterTokens != 0 {
+			t.Fatalf("iter %d: re-solving a settled layout moved tokens: %+v", iter, again)
+		}
+		// The balanced default is idempotent too.
+		bal, err := Solve(tokens, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d balanced: %v", iter, err)
+		}
+		balAgain, err := Solve(Apply(tokens, bal), c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d balanced resolve: %v", iter, err)
+		}
+		if len(balAgain.Transfers) != 0 {
+			t.Fatalf("iter %d: balanced remap not idempotent", iter)
+		}
+	}
+}
+
+// Property: a shrink-then-grow round trip (drain a rank suffix, then
+// rebalance over the full world) conserves the total and ends balanced —
+// the invariant the campaign's elastic transitions depend on.
+func TestPropertyElasticRoundTripConserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 120; iter++ {
+		c := randomCluster(rng)
+		world := c.World()
+		tokens := randomTokens(rng, world)
+		var total int
+		for _, v := range tokens {
+			total += v
+		}
+		// Shrink: drain the last k ranks.
+		k := 1 + rng.Intn(world-1)
+		survivors := world - k
+		shrunk := make([]int, world)
+		base, rem := total/survivors, total%survivors
+		for r := 0; r < survivors; r++ {
+			shrunk[r] = base
+			if r < rem {
+				shrunk[r]++
+			}
+		}
+		p1, err := SolveTarget(tokens, shrunk, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d shrink: %v", iter, err)
+		}
+		afterShrink := Apply(tokens, p1)
+		for r := survivors; r < world; r++ {
+			if afterShrink[r] != 0 {
+				t.Fatalf("iter %d: drained rank %d still holds %d tokens", iter, r, afterShrink[r])
+			}
+		}
+		// Grow: rebalance over the full world again.
+		p2, err := Solve(afterShrink, c, bIntra, bInter)
+		if err != nil {
+			t.Fatalf("iter %d grow: %v", iter, err)
+		}
+		final := Apply(afterShrink, p2)
+		var sum int
+		for r, v := range final {
+			if v != p2.Target[r] {
+				t.Fatalf("iter %d: rank %d ended at %d, want %d", iter, r, v, p2.Target[r])
+			}
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("iter %d: round trip lost tokens: %d != %d", iter, sum, total)
+		}
+	}
+}
+
+// Property: WeightedTarget conserves totals, gives nothing to
+// zero-weight ranks, and is monotone — a rank never receives fewer
+// tokens than a strictly lighter-weighted peer (up to rounding).
+func TestPropertyWeightedTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		world := 2 + rng.Intn(30)
+		tokens := randomTokens(rng, world)
+		var total int
+		for _, v := range tokens {
+			total += v
+		}
+		weights := make([]float64, world)
+		for i := range weights {
+			if rng.Intn(5) == 0 {
+				continue // dead rank
+			}
+			weights[i] = 0.1 + rng.Float64()*2.4
+		}
+		target := WeightedTarget(tokens, weights)
+		var sum int
+		for i, v := range target {
+			sum += v
+			if v < 0 {
+				t.Fatalf("iter %d: negative target %d at rank %d", iter, v, i)
+			}
+			if weights[i] == 0 && v != 0 {
+				t.Fatalf("iter %d: zero-weight rank %d received %d tokens", iter, i, v)
+			}
+		}
+		if sum != total {
+			t.Fatalf("iter %d: weighted target sums to %d, want %d", iter, sum, total)
+		}
+		for a := 0; a < world; a++ {
+			for b := 0; b < world; b++ {
+				if weights[a] > weights[b] && target[a]+1 < target[b] {
+					t.Fatalf("iter %d: rank %d (w=%.2f) got %d but rank %d (w=%.2f) got %d",
+						iter, a, weights[a], target[a], b, weights[b], target[b])
+				}
+			}
+		}
+	}
+}
+
+// SolveTarget rejects infeasible targets loudly instead of silently
+// dropping tokens.
+func TestSolveTargetValidation(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 1)
+	tokens := []int{8, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := SolveTarget(tokens, []int{4, 4}, c, bIntra, bInter); err == nil {
+		t.Fatal("short target must fail")
+	}
+	if _, err := SolveTarget(tokens, []int{9, 0, 0, 0, 0, 0, 0, 0}, c, bIntra, bInter); err == nil {
+		t.Fatal("non-conserving target must fail")
+	}
+	bad := []int{16, -8, 0, 0, 0, 0, 0, 0}
+	if _, err := SolveTarget(tokens, bad, c, bIntra, bInter); err == nil {
+		t.Fatal("negative target must fail")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"zeppelin/internal/cluster"
 	"zeppelin/internal/collective"
+	"zeppelin/internal/seq"
 	"zeppelin/internal/sim"
 )
 
@@ -63,12 +64,42 @@ func BalancedTarget(tokens []int) []int {
 	return out
 }
 
+// WeightedTarget returns per-rank token counts proportional to a weight
+// vector (seq.SplitWeighted's largest-remainder rounding — the same
+// arithmetic the partitioner's weighted ring shares use), conserving
+// the input total. With a cluster's relative-speed vector as weights it
+// is the speed-weighted layout the remapping layer steers to under a
+// degraded effective-speed view: slow ranks receive fewer tokens so the
+// token-wise linear modules finish together. Uniform (or absent)
+// weights reduce to BalancedTarget; weights shorter than the rank set
+// leave the tail ranks at weight zero.
+func WeightedTarget(tokens []int, weights []float64) []int {
+	var total int
+	for _, t := range tokens {
+		total += t
+	}
+	padded := make([]float64, len(tokens))
+	copy(padded, weights)
+	return seq.SplitWeighted(total, padded)
+}
+
 // Solve computes the Eq. 2 remapping for a token distribution over the
 // cluster's ranks. bIntra and bInter are inverse bandwidths in seconds
 // per token-byte unit; callers typically pass activation-bytes-scaled
 // values from the cost model, but any consistent unit works since only
 // the plan structure and relative costs matter.
 func Solve(tokens []int, c *cluster.Cluster, bIntra, bInter float64) (*Plan, error) {
+	return SolveTarget(tokens, nil, c, bIntra, bInter)
+}
+
+// SolveTarget is Solve toward an arbitrary feasible target layout: the
+// same Eq. 2 bottleneck objective, but steering the tokens to `target`
+// instead of the perfectly balanced layout. A nil target selects
+// BalancedTarget. The elastic-rescaling path uses it to drain leaving
+// ranks (target 0 there) and to seed joining ranks, and the degraded-
+// cluster path to weight the layout by effective rank speed. The target
+// must conserve the token total.
+func SolveTarget(tokens, target []int, c *cluster.Cluster, bIntra, bInter float64) (*Plan, error) {
 	if len(tokens) != c.World() {
 		return nil, fmt.Errorf("remap: %d token counts for world of %d", len(tokens), c.World())
 	}
@@ -80,7 +111,24 @@ func Solve(tokens []int, c *cluster.Cluster, bIntra, bInter float64) (*Plan, err
 			return nil, fmt.Errorf("remap: rank %d has negative tokens", i)
 		}
 	}
-	target := BalancedTarget(tokens)
+	if target == nil {
+		target = BalancedTarget(tokens)
+	} else {
+		if len(target) != len(tokens) {
+			return nil, fmt.Errorf("remap: %d targets for world of %d", len(target), len(tokens))
+		}
+		var haveTotal, wantTotal int
+		for i, t := range target {
+			if t < 0 {
+				return nil, fmt.Errorf("remap: rank %d has negative target", i)
+			}
+			haveTotal += tokens[i]
+			wantTotal += t
+		}
+		if haveTotal != wantTotal {
+			return nil, fmt.Errorf("remap: target totals %d tokens, have %d", wantTotal, haveTotal)
+		}
+	}
 	p := &Plan{Target: target}
 
 	surplus := make([]int, len(tokens)) // tokens to send

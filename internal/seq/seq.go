@@ -46,23 +46,64 @@ type Ring struct {
 	Seq   Sequence
 	Zone  Zone
 	Ranks []int // ring order; len(Ranks) = G ≥ 2
+	// Weights, when non-nil, are relative per-rank query-chunk shares
+	// (len = G, positive, any scale): rank i owns Weights[i]/Σ of the
+	// sequence's tokens and causal pairs instead of the even 1/G. The
+	// speed-aware partitioner sets them proportional to rank speeds on a
+	// degraded cluster so a ring's lock-stepped rounds are not paced by
+	// the straggler; KV circulation stays even. Nil means the paper's
+	// balanced 2G-chunk split.
+	Weights []float64
 }
 
 // G returns the ring group size.
 func (r Ring) G() int { return len(r.Ranks) }
 
 // TokensPerRank returns each rank's token share under the 2G-chunk causal
-// balancing scheme (rank i holds chunks i and 2G−1−i, i.e. ~Len/G tokens).
-// Remainder tokens go to the earliest ranks so totals are conserved.
+// balancing scheme (rank i holds chunks i and 2G−1−i, i.e. ~Len/G tokens),
+// or the weighted split when Weights are set. Remainder tokens go to the
+// earliest ranks so totals are conserved.
 func (r Ring) TokensPerRank() []int {
-	return SplitEven(r.Seq.Len, r.G())
+	if r.Weights == nil {
+		return SplitEven(r.Seq.Len, r.G())
+	}
+	return SplitWeighted(r.Seq.Len, r.Weights)
 }
 
 // PairsPerRank returns each rank's causal-pair share. The 2G-chunk scheme
 // balances pairs exactly across ranks in the continuous limit; we model
-// the share as total pairs / G.
+// the share as total pairs / G. Weighted rings spread pairs by weight;
+// callers needing per-rank resolution use PairShares.
 func (r Ring) PairsPerRank() float64 {
 	return model.CausalPairs(float64(r.Seq.Len)) / float64(r.G())
+}
+
+// PairShares returns every rank's causal-pair share, honoring Weights.
+// The unweighted path reproduces PairsPerRank's arithmetic exactly.
+func (r Ring) PairShares() []float64 {
+	pairs := model.CausalPairs(float64(r.Seq.Len))
+	out := make([]float64, r.G())
+	var sum float64
+	for _, w := range r.Weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if r.Weights == nil || sum <= 0 {
+		per := pairs / float64(r.G())
+		for i := range out {
+			out[i] = per
+		}
+		return out
+	}
+	for i := range out {
+		w := r.Weights[i]
+		if w < 0 {
+			w = 0
+		}
+		out[i] = pairs * w / sum
+	}
+	return out
 }
 
 // Plan is a full placement of a batch across a world of ranks: whole
@@ -106,9 +147,9 @@ func (p *Plan) PairsPerRank() []float64 {
 		}
 	}
 	for _, ring := range p.Rings {
-		pp := ring.PairsPerRank()
-		for _, r := range ring.Ranks {
-			out[r] += pp
+		pp := ring.PairShares()
+		for i, r := range ring.Ranks {
+			out[r] += pp[i]
 		}
 	}
 	return out
@@ -170,6 +211,16 @@ func (p *Plan) Validate(batch []Sequence) error {
 			}
 			seen[r] = true
 		}
+		if ring.Weights != nil {
+			if len(ring.Weights) != ring.G() {
+				return fmt.Errorf("plan: ring %d has %d weights for %d ranks", i, len(ring.Weights), ring.G())
+			}
+			for j, w := range ring.Weights {
+				if w <= 0 {
+					return fmt.Errorf("plan: ring %d weight %d is non-positive", i, j)
+				}
+			}
+		}
 		placed[ring.Seq.ID] += ring.Seq.Len
 	}
 	want := make(map[int]int)
@@ -200,6 +251,49 @@ func SplitEven(n, k int) []int {
 		if i < rem {
 			out[i]++
 		}
+	}
+	return out
+}
+
+// SplitWeighted splits n into len(weights) non-negative parts
+// proportional to the weights (largest-remainder rounding, remainders
+// broken by index), summing exactly to n. Non-positive weights receive
+// nothing; if no weight is positive the split falls back to even.
+// Panics on an empty weight vector.
+func SplitWeighted(n int, weights []float64) []int {
+	k := len(weights)
+	if k <= 0 {
+		panic("seq: SplitWeighted with no weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		return SplitEven(n, k)
+	}
+	out := make([]int, k)
+	frac := make([]float64, k)
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		exact := float64(n) * w / sum
+		out[i] = int(exact)
+		frac[i] = exact - float64(out[i])
+		assigned += out[i]
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
+	for i := 0; assigned < n; i++ {
+		out[order[i%k]]++
+		assigned++
 	}
 	return out
 }

@@ -1,0 +1,95 @@
+package seq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitWeighted(t *testing.T) {
+	got := SplitWeighted(10, []float64{1, 1})
+	if got[0]+got[1] != 10 || got[0] != 5 {
+		t.Fatalf("even weights: %v", got)
+	}
+	// 3:1 split, conserved.
+	got = SplitWeighted(100, []float64{3, 1})
+	if got[0] != 75 || got[1] != 25 {
+		t.Fatalf("3:1 split: %v", got)
+	}
+	// Zero-weight parts receive nothing; total conserved via remainder.
+	got = SplitWeighted(7, []float64{2, 0, 1})
+	if got[1] != 0 || got[0]+got[2] != 7 {
+		t.Fatalf("zero weight: %v", got)
+	}
+	// All-zero weights fall back to even.
+	got = SplitWeighted(9, []float64{0, 0, 0})
+	if got[0]+got[1]+got[2] != 9 || got[0]-got[2] > 1 {
+		t.Fatalf("fallback: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty weights must panic")
+		}
+	}()
+	SplitWeighted(1, nil)
+}
+
+func TestWeightedRingShares(t *testing.T) {
+	even := Ring{Seq: Sequence{ID: 0, Len: 1000}, Zone: ZoneIntra, Ranks: []int{0, 1, 2, 3}}
+	weighted := Ring{Seq: Sequence{ID: 0, Len: 1000}, Zone: ZoneIntra, Ranks: []int{0, 1, 2, 3},
+		Weights: []float64{1, 1, 1, 0.5}}
+
+	// Even rings: identical shares, matching the legacy scalar.
+	shares := even.PairShares()
+	for _, s := range shares {
+		if s != even.PairsPerRank() {
+			t.Fatalf("even shares %v != %v", shares, even.PairsPerRank())
+		}
+	}
+	tok := even.TokensPerRank()
+	if tok[0] != 250 {
+		t.Fatalf("even tokens %v", tok)
+	}
+
+	// Weighted rings: the light rank holds half a share, totals conserved.
+	wTok := weighted.TokensPerRank()
+	var sum int
+	for _, v := range wTok {
+		sum += v
+	}
+	if sum != 1000 {
+		t.Fatalf("weighted tokens not conserved: %v", wTok)
+	}
+	if wTok[3] >= wTok[0] {
+		t.Fatalf("light rank should hold fewer tokens: %v", wTok)
+	}
+	wShares := weighted.PairShares()
+	var pairSum float64
+	for _, s := range wShares {
+		pairSum += s
+	}
+	if math.Abs(pairSum-even.PairsPerRank()*4) > 1e-9 {
+		t.Fatalf("weighted pair shares not conserved: %v", wShares)
+	}
+	if math.Abs(wShares[3]-wShares[0]/2) > 1e-9 {
+		t.Fatalf("weighted pair share ratio wrong: %v", wShares)
+	}
+}
+
+func TestPlanValidateRejectsBadWeights(t *testing.T) {
+	batch := []Sequence{{ID: 0, Len: 100}}
+	p := NewPlan(4)
+	p.Rings = append(p.Rings, Ring{Seq: batch[0], Zone: ZoneIntra, Ranks: []int{0, 1}, Weights: []float64{1}})
+	if err := p.Validate(batch); err == nil {
+		t.Fatal("weight/rank length mismatch must fail")
+	}
+	p = NewPlan(4)
+	p.Rings = append(p.Rings, Ring{Seq: batch[0], Zone: ZoneIntra, Ranks: []int{0, 1}, Weights: []float64{1, -1}})
+	if err := p.Validate(batch); err == nil {
+		t.Fatal("non-positive weight must fail")
+	}
+	p = NewPlan(4)
+	p.Rings = append(p.Rings, Ring{Seq: batch[0], Zone: ZoneIntra, Ranks: []int{0, 1}, Weights: []float64{1, 0.5}})
+	if err := p.Validate(batch); err != nil {
+		t.Fatalf("valid weighted ring rejected: %v", err)
+	}
+}

@@ -78,6 +78,12 @@ type Resource struct {
 	// Latency is a fixed per-task overhead added to every task executed on
 	// this resource (e.g. NCCL kernel launch, RDMA message setup).
 	Latency Time
+	// Speed scales this resource's effective execution rate: a task's work
+	// time (duration plus rated transfer time, but not Latency) is divided
+	// by Speed. Zero or one means nominal speed; 0.5 models a degraded
+	// executor running at half rate (a throttled GPU, a flapping NIC).
+	// The fault-injection layer sets this; healthy simulations leave it 0.
+	Speed float64
 
 	id    int
 	busy  bool
@@ -219,6 +225,9 @@ func (t *Task) execTime() Time {
 		d += t.Size / t.res.Rate
 	}
 	if t.res != nil {
+		if s := t.res.Speed; s > 0 && s != 1 {
+			d /= s
+		}
 		d += t.res.Latency
 	}
 	return d

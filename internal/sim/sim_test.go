@@ -371,3 +371,39 @@ func TestPropertyDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// Resource.Speed stretches the work portion of a task — duration and
+// rated transfer time — but never the fixed latency.
+func TestResourceSpeedScalesWork(t *testing.T) {
+	e := NewEngine()
+	comp := e.NewResource("slow-gpu", 0)
+	comp.Latency = 1
+	comp.Speed = 0.5
+	k := e.Compute("kernel", 0, comp, 10)
+
+	link := e.NewResource("derated-link", 100)
+	link.Speed = 0.25
+	x := e.Transfer("xfer", KindInterComm, 0, link, 400)
+
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.End - k.Start; got != 10/0.5+1 {
+		t.Fatalf("half-speed kernel took %v, want %v", got, 10/0.5+1)
+	}
+	if got := x.End - x.Start; got != (400.0/100)/0.25 {
+		t.Fatalf("quarter-speed transfer took %v, want %v", got, (400.0/100)/0.25)
+	}
+
+	// Speed 0 and 1 are nominal.
+	e2 := NewEngine()
+	r2 := e2.NewResource("nominal", 0)
+	r2.Speed = 1
+	k2 := e2.Compute("kernel", 0, r2, 10)
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k2.End - k2.Start; got != 10 {
+		t.Fatalf("speed 1 changed duration: %v", got)
+	}
+}

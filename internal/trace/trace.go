@@ -139,14 +139,20 @@ func Timeline(w io.Writer, events []Event, ranks []int, width int) {
 }
 
 // CampaignRow is one campaign iteration in the timeline renderer's
-// input: its simulated duration, whether the partitioner ran, and the
-// realized per-rank imbalance. internal/campaign produces these via
-// Report.TraceRows.
+// input: its simulated duration, whether the partitioner ran, the
+// realized per-rank imbalance, and an optional fault marker.
+// internal/campaign produces these via Report.TraceRows.
 type CampaignRow struct {
 	Iter      int
 	Time      float64 // seconds
 	Replan    bool
 	Imbalance float64
+	// Mark is a one-glyph fault/recovery marker ('F' fail-stop, 'E'
+	// elastic resize, 'S' straggler/NIC degradation, '+' recovery;
+	// 0 = none), rendered next to the replan marker.
+	Mark byte
+	// Note annotates the row with the underlying fault events.
+	Note string
 }
 
 // CampaignTimeline renders an iteration-per-row timeline of a campaign:
@@ -168,17 +174,25 @@ func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
 	}
 	rows = downsample(rows, maxRows)
 	var maxTime float64
+	anyMark := false
 	for _, r := range rows {
 		if r.Time > maxTime {
 			maxTime = r.Time
+		}
+		if r.Mark != 0 {
+			anyMark = true
 		}
 	}
 	if maxTime <= 0 {
 		fmt.Fprintln(w, "(no iterations)")
 		return
 	}
-	fmt.Fprintf(w, "campaign timeline: %d rows, bar = iteration time (max %.2f ms), 'R' = replan\n",
-		len(rows), maxTime*1e3)
+	legend := "'R' = replan"
+	if anyMark {
+		legend += ", 'F' = fail-stop, 'E' = elastic resize, 'S' = straggler/NIC, '+' = recovery"
+	}
+	fmt.Fprintf(w, "campaign timeline: %d rows, bar = iteration time (max %.2f ms), %s\n",
+		len(rows), maxTime*1e3, legend)
 	for _, r := range rows {
 		n := int(r.Time / maxTime * float64(width))
 		if n < 1 {
@@ -191,13 +205,40 @@ func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
 		if r.Replan {
 			marker = 'R'
 		}
-		fmt.Fprintf(w, "iter %4d %c |%-*s| %8.2f ms  imb %.2f\n",
-			r.Iter, marker, width, strings.Repeat("#", n), r.Time*1e3, r.Imbalance)
+		mark := ' '
+		if r.Mark != 0 {
+			mark = rune(r.Mark)
+		}
+		note := ""
+		if r.Note != "" {
+			note = "  " + r.Note
+		}
+		fmt.Fprintf(w, "iter %4d %c%c |%-*s| %8.2f ms  imb %.2f%s\n",
+			r.Iter, marker, mark, width, strings.Repeat("#", n), r.Time*1e3, r.Imbalance, note)
 	}
 }
 
+// MarkSeverity orders campaign fault marks, most severe highest: a
+// fail-stop outranks an elastic resize outranks a degradation onset
+// outranks a recovery. Downsampled strides keep their most severe mark,
+// and producers folding several events into one mark use the same order.
+func MarkSeverity(b byte) int {
+	switch b {
+	case 'F':
+		return 4
+	case 'E':
+		return 3
+	case 'S':
+		return 2
+	case '+':
+		return 1
+	}
+	return 0
+}
+
 // downsample folds rows into at most maxRows equal strides: mean time,
-// max imbalance, replan if any member replanned, first member's index.
+// max imbalance, replan if any member replanned, the most severe fault
+// mark, first member's index.
 func downsample(rows []CampaignRow, maxRows int) []CampaignRow {
 	if len(rows) <= maxRows {
 		return rows
@@ -217,6 +258,10 @@ func downsample(rows []CampaignRow, maxRows int) []CampaignRow {
 			}
 			if r.Imbalance > agg.Imbalance {
 				agg.Imbalance = r.Imbalance
+			}
+			if MarkSeverity(r.Mark) > MarkSeverity(agg.Mark) {
+				agg.Mark = r.Mark
+				agg.Note = r.Note
 			}
 		}
 		agg.Time /= float64(hi - lo)

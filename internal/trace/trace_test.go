@@ -126,7 +126,7 @@ func TestCampaignTimelineRendersRowsAndMarkers(t *testing.T) {
 	// Iterations 0 and 4 replanned; 1-3 and 5 did not.
 	for i, wantMark := range []bool{true, false, false, false, true, false} {
 		line := lines[i+1]
-		if got := strings.Contains(line, " R |"); got != wantMark {
+		if got := strings.Contains(line, " R  |"); got != wantMark {
 			t.Errorf("iter %d replan marker = %v, want %v: %q", i, got, wantMark, line)
 		}
 		if !strings.Contains(line, "#") || !strings.Contains(line, "imb 1.0") {
@@ -149,7 +149,7 @@ func TestCampaignTimelineDownsamples(t *testing.T) {
 	}
 	// Every stride of 8 contains a replan (period 4), so all rows carry R.
 	for _, line := range lines[1:] {
-		if !strings.Contains(line, " R |") {
+		if !strings.Contains(line, " R  |") {
 			t.Fatalf("downsampled row lost its replan marker: %q", line)
 		}
 	}
@@ -160,5 +160,45 @@ func TestCampaignTimelineEmpty(t *testing.T) {
 	CampaignTimeline(&sb, nil, 40, 25)
 	if !strings.Contains(sb.String(), "(no iterations)") {
 		t.Fatalf("empty rendering = %q", sb.String())
+	}
+}
+
+func TestCampaignTimelineFaultMarkers(t *testing.T) {
+	rows := []CampaignRow{
+		{Iter: 0, Time: 0.010, Replan: true, Imbalance: 1.0},
+		{Iter: 1, Time: 0.012, Mark: 'S', Note: "straggler:rank3 x2.5", Imbalance: 1.2},
+		{Iter: 2, Time: 0.030, Replan: true, Mark: 'F', Note: "fail:node1", Imbalance: 1.1},
+		{Iter: 3, Time: 0.011, Mark: 'E', Note: "grow:node1", Imbalance: 1.0},
+	}
+	var sb strings.Builder
+	CampaignTimeline(&sb, rows, 40, 50)
+	out := sb.String()
+	for _, want := range []string{
+		"'F' = fail-stop", " S |", "RF |", " E |",
+		"straggler:rank3 x2.5", "fail:node1", "grow:node1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Healthy rows keep the legend terse.
+	var healthy strings.Builder
+	CampaignTimeline(&healthy, rows[:1], 40, 50)
+	if strings.Contains(healthy.String(), "fail-stop") {
+		t.Error("fault legend leaked into a healthy timeline")
+	}
+}
+
+func TestCampaignDownsampleKeepsMarks(t *testing.T) {
+	rows := make([]CampaignRow, 100)
+	for i := range rows {
+		rows[i] = CampaignRow{Iter: i, Time: 0.01, Imbalance: 1}
+	}
+	rows[37].Mark = 'F'
+	rows[37].Note = "fail:node1"
+	var sb strings.Builder
+	CampaignTimeline(&sb, rows, 40, 10)
+	if !strings.Contains(sb.String(), "F |") || !strings.Contains(sb.String(), "fail:node1") {
+		t.Fatalf("downsampling dropped the fault mark:\n%s", sb.String())
 	}
 }

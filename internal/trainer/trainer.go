@@ -42,6 +42,11 @@ type Env struct {
 	// hold resident for one micro-batch; hybrid methods use it to decide
 	// when a sequence must be split for memory rather than for balance.
 	MemoryTokens int
+	// Health is the effective-speed cluster view this iteration executes
+	// under (nil = nominal). The fabric is already degraded accordingly;
+	// speed-aware methods additionally read it to plan around slow ranks,
+	// while the baselines' even splits take the hit un-rebalanced.
+	Health *cluster.Health
 }
 
 // Method plans the execution of a batch.
@@ -82,6 +87,10 @@ type Config struct {
 	// CapacityFactor sets L = CapacityFactor × TokensPerGPU × TP.
 	CapacityFactor float64
 	Seed           int64
+	// Health degrades the iteration's cluster (per-rank compute slowdowns,
+	// per-NIC bandwidth derates). Nil means healthy; internal/faults
+	// produces per-iteration views for campaigns under a fault schedule.
+	Health *cluster.Health
 }
 
 // Validate fills defaults and checks the configuration.
@@ -123,14 +132,20 @@ func (c *Config) TotalTokens() int {
 	return tpg * c.GPUs()
 }
 
-// effectiveSpec folds tensor parallelism into the topology: a TP group
+// EffectiveSpec folds tensor parallelism into the topology: a TP group
 // acts as one data-parallel rank owning its GPUs' aggregate compute and
 // the NIC of its group. On Cluster A (2 GPUs per NIC), TP=2 gives each
 // DP rank a dedicated NIC — the §5.1 observation that TP=2 removes the
-// shared-NIC bottleneck.
-func (c *Config) effectiveSpec() cluster.Spec {
+// shared-NIC bottleneck. The campaign layer and the fault scheduler
+// size their per-rank and per-NIC views from this spec; an unset TP
+// counts as 1 (Validate's default).
+func (c *Config) EffectiveSpec() cluster.Spec {
 	spec := c.Spec
-	spec.GPUsPerNode /= c.TP
+	tp := c.TP
+	if tp <= 0 {
+		tp = 1
+	}
+	spec.GPUsPerNode /= tp
 	if spec.NICsPerNode > spec.GPUsPerNode {
 		spec.NICsPerNode = spec.GPUsPerNode
 	}
@@ -142,7 +157,7 @@ func (c *Config) NewEnv() (*Env, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	spec := c.effectiveSpec()
+	spec := c.EffectiveSpec()
 	cl, err := cluster.New(spec, c.Nodes)
 	if err != nil {
 		return nil, err
@@ -161,13 +176,21 @@ func (c *Config) NewEnv() (*Env, error) {
 	if memTokens < c.TokensPerGPU*c.TP {
 		memTokens = c.TokensPerGPU * c.TP
 	}
+	f := cluster.NewFabric(e, cl)
+	if c.Health.Degraded() {
+		if err := c.Health.Validate(cl.World(), cl.Nodes*cl.NICsPerNode); err != nil {
+			return nil, err
+		}
+		f.Degrade(c.Health)
+	}
 	return &Env{
 		E:              e,
-		F:              cluster.NewFabric(e, cl),
+		F:              f,
 		C:              cl,
 		CM:             cm,
 		CapacityTokens: int(c.CapacityFactor * float64(c.TokensPerGPU*c.TP)),
 		MemoryTokens:   memTokens,
+		Health:         c.Health,
 	}, nil
 }
 

@@ -42,15 +42,30 @@ func (m Method) Name() string {
 	}
 }
 
+// SpeedAware marks Zeppelin as a method that re-plans against the
+// degraded effective-speed cluster view: the partitioner weighs rank
+// loads by measured speed and the remapping layer steers tokens toward
+// fast ranks, so stragglers cost the harmonic-mean slowdown instead of
+// the maximum. The campaign layer uses this to decide whose stale-plan
+// projections should account for rank speeds (internal/campaign).
+func (Method) SpeedAware() bool { return true }
+
 // Plan partitions the batch hierarchically and prepares the remapping
-// solution for the linear modules.
+// solution for the linear modules. Under a degraded cluster view
+// (env.Health) both stages plan speed-aware; on a healthy cluster the
+// behavior is bit-identical to the paper's homogeneous algorithms.
 func (m Method) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement, error) {
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("zeppelin: empty batch")
 	}
+	var speeds []float64
+	if env.Health.Degraded() {
+		speeds = env.Health.Speeds(env.C.World())
+	}
 	part, err := partition.New(partition.Config{
 		Cluster:        env.C,
 		CapacityTokens: env.CapacityTokens,
+		Speeds:         speeds,
 	})
 	if err != nil {
 		return nil, err
@@ -72,7 +87,14 @@ func (m Method) Plan(env *trainer.Env, batch []seq.Sequence) (trainer.Placement,
 		bytesPerToken := env.CM.ActBytes(1)
 		bIntra := bytesPerToken / env.C.IntraBandwidth
 		bInter := bytesPerToken / env.C.NICBandwidth
-		rp, err := remap.Solve(res.Plan.TokensPerRank(), env.C, bIntra, bInter)
+		// Speed-weighted layout under degradation: slow ranks receive
+		// proportionally fewer tokens so the linear modules finish
+		// together; healthy clusters keep the perfectly balanced target.
+		var target []int
+		if speeds != nil {
+			target = remap.WeightedTarget(res.Plan.TokensPerRank(), speeds)
+		}
+		rp, err := remap.SolveTarget(res.Plan.TokensPerRank(), target, env.C, bIntra, bInter)
 		if err != nil {
 			return nil, err
 		}
