@@ -1,0 +1,142 @@
+// Command benchgate is the benchmark-regression gate of the CI pipeline.
+// It parses `go test -bench` text output into the shared benchfmt JSON
+// schema, optionally writes it as an artifact (the BENCH_pr4.json the CI
+// bench job uploads), and compares planner benchmarks against a
+// checked-in baseline — exiting 1 when any gated benchmark's ns/op grew
+// beyond the threshold, so planning-latency regressions fail the PR
+// instead of landing silently.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 3x -benchmem -count 5 . | \
+//	    benchgate -emit BENCH_pr4.json -baseline BENCH_baseline.json
+//
+//	benchgate -input bench.txt -emit BENCH_pr4.json               # parse only
+//	benchgate -input bench.txt -baseline BENCH_baseline.json -update
+//
+// The default gate covers the planner stack (Fig15 plan paths, the
+// partitioner, the remap solver); -gate swaps in any regexp. Benchmarks
+// missing from either side are reported and skipped, never failed, so
+// adding or retiring a benchmark cannot brick CI — refresh the baseline
+// with -update (or locally via the README recipe) to re-cover them.
+// Aggregation across -count samples takes the minimum ns/op, the
+// least-noise statistic for threshold gating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"zeppelin/internal/benchfmt"
+)
+
+// DefaultGate selects the planner-stack benchmarks the pipeline fails on.
+const DefaultGate = `^Benchmark(Fig15Plan|PartitionerPlan|RemapSolve)`
+
+func main() {
+	input := flag.String("input", "-", `bench output to parse ("-" = stdin)`)
+	emit := flag.String("emit", "", "write the parsed artifact (benchfmt JSON) to this file")
+	baseline := flag.String("baseline", "", "baseline artifact to gate against (skip gating when empty)")
+	threshold := flag.Float64("threshold", 0.15, "allowed ns/op growth fraction before failing (0.15 = +15%)")
+	gate := flag.String("gate", DefaultGate, "regexp of benchmark names the gate applies to")
+	update := flag.Bool("update", false, "rewrite -baseline from the current input instead of gating")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -threshold must be > 0, got %v\n", *threshold)
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := benchfmt.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in %s", *input))
+	}
+	if *emit != "" {
+		if err := writeArtifact(*emit, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d results to %s\n", len(cur.Results), *emit)
+	}
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeArtifact(*baseline, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: refreshed baseline %s (%d results)\n", *baseline, len(cur.Results))
+		return
+	}
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchfmt.ReadFile(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	regressions, skipped := benchfmt.Compare(base, cur, gateRe, *threshold)
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "benchgate: skipped (no pairable baseline): %s\n", s)
+	}
+	gated := 0
+	for _, r := range cur.Results {
+		if gateRe.MatchString(r.Name) {
+			gated++
+		}
+	}
+	if gated == 0 {
+		fatal(fmt.Errorf("gate %q matched no benchmarks in current results", *gate))
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) within +%.0f%% of baseline\n",
+		gated, *threshold*100)
+}
+
+func writeArtifact(path string, f *benchfmt.File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

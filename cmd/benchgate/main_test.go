@@ -1,0 +1,37 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestDefaultGateCoversPlannerStack pins which benchmarks the CI bench
+// job fails on: the planner fast paths and solvers, and nothing else —
+// end-to-end figure benches drift with simulation changes by design and
+// are tracked, not gated.
+func TestDefaultGateCoversPlannerStack(t *testing.T) {
+	re := regexp.MustCompile(DefaultGate)
+	gated := []string{
+		"BenchmarkFig15PlanFull",
+		"BenchmarkFig15PlanIncremental",
+		"BenchmarkPartitionerPlan",
+		"BenchmarkRemapSolve",
+	}
+	for _, name := range gated {
+		if !re.MatchString(name) {
+			t.Fatalf("gate must cover %s", name)
+		}
+	}
+	free := []string{
+		"BenchmarkFig8EndToEnd",
+		"BenchmarkFig13Campaign",
+		"BenchmarkFig15ScalingSweep",
+		"BenchmarkRunnerParallel",
+		"BenchmarkMethodZeppelin",
+	}
+	for _, name := range free {
+		if re.MatchString(name) {
+			t.Fatalf("gate must not cover %s", name)
+		}
+	}
+}

@@ -6,9 +6,10 @@
 //
 //	zeppelin [-seeds N] [-workers N] [-json] <experiment>
 //	zeppelin [-seeds N] [-workers N] campaign [-iters N] [-arrival P] [-drift D] [-policy P] [-json] [...]
+//	zeppelin bench [-ranks R1,R2] [-iters N] [-json]
 //
 // where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
-// fig10, fig11, fig12, fig13, table3, all.
+// fig10, fig11, fig12, fig13, fig14, fig15, table3, all.
 //
 // -workers bounds the concurrent simulation pool (default GOMAXPROCS);
 // results are bit-identical for every worker count. -json emits the
@@ -23,6 +24,13 @@
 // elastic shrink/grow) runs the whole stream under a deterministic
 // fault schedule, with fault/recovery markers in the per-iteration
 // records and the rendered timeline.
+//
+// The bench subcommand measures the planner fast path in-process (the
+// fig15 machinery: full solve vs incremental re-planning over a churning
+// stream) and emits results in the shared benchfmt JSON schema — the
+// same shape as the CI bench job's BENCH_*.json artifact, so the same
+// tooling reads both (the measurements themselves differ: CI aggregates
+// go-test samples, bench reports per-rank-count p50s).
 package main
 
 import (
@@ -33,14 +41,19 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 
+	"zeppelin/internal/benchfmt"
 	"zeppelin/internal/campaign"
 	"zeppelin/internal/experiments"
 	"zeppelin/internal/faults"
+	"zeppelin/internal/partition"
 	"zeppelin/internal/runner"
 	"zeppelin/internal/trace"
 	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
 )
 
 // usageError marks a flag-validation failure: main prints usage and
@@ -87,6 +100,18 @@ func main() {
 		}
 		return
 	}
+	if args[0] == "bench" {
+		if err := benchCmd(os.Stdout, args[1:], *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zeppelin:", err)
+			var ue usageError
+			if errors.As(err, &ue) {
+				flag.Usage()
+				os.Exit(2)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	if len(args) != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -119,20 +144,25 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
        zeppelin [-seeds N] [-workers N] campaign [flags]
+       zeppelin bench [-ranks R1,R2] [-iters N] [-json]
 
 experiments: %s
 campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -dataset NAME  -drift a,b,c  -policy always|never|threshold|periodic
                 -threshold X  -every N  -replan-cost SECONDS (>= 0)
-                -faults none|straggler|nic|failstop|shrink[:k=v,...]  -json
+                -faults none|straggler|nic|failstop|shrink[:k=v,...]
+                -incremental (Zeppelin plans through the incremental planner)  -json
+bench flags:    -ranks 64,256 (world sizes, multiples of 8)  -iters N
+                -json (benchfmt artifact, the BENCH_*.json schema)
 `, strings.Join(append(append([]string{}, experimentOrder...), "all"), " "))
 	flag.PrintDefaults()
 }
 
 // experimentOrder is the `all` sequence, in paper order; fig13 (the
-// streaming campaign) and fig14 (fault-and-elasticity campaigns) extend
-// the evaluation past the paper.
-var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3"}
+// streaming campaign), fig14 (fault-and-elasticity campaigns), and fig15
+// (the planner fast-path scaling sweep) extend the evaluation past the
+// paper.
+var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table3"}
 
 func knownExperiment(name string) bool {
 	if name == "all" {
@@ -159,6 +189,7 @@ func dispatch(w io.Writer, name string, opts experiments.Options) error {
 		"fig12":  func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig12(w, opts) },
 		"fig13":  experiments.WriteFig13,
 		"fig14":  experiments.WriteFig14,
+		"fig15":  experiments.WriteFig15,
 		"table3": func(w io.Writer, opts experiments.Options) error { return writeTable3(w, opts) },
 	}
 	if name == "all" {
@@ -211,6 +242,8 @@ func result(name string, opts experiments.Options) (any, error) {
 		return experiments.Fig13(opts)
 	case "fig14":
 		return experiments.Fig14(opts)
+	case "fig15":
+		return experiments.Fig15(opts)
 	case "table3":
 		return experiments.Table3Opts(opts)
 	}
@@ -248,6 +281,82 @@ func dispatchJSON(w io.Writer, name string, opts experiments.Options) error {
 }
 
 // ---------------------------------------------------------------------
+// bench subcommand
+// ---------------------------------------------------------------------
+
+// benchCmd measures the planner fast path in-process and emits results in
+// the shared benchfmt schema — the same JSON shape cmd/benchgate distills
+// from `go test -bench` output in CI, so one set of tooling reads both.
+// (The entries differ by design: bench names carry a /ranks=N suffix and
+// report per-cell p50s, while the CI artifact aggregates go-test
+// samples.) Text mode prints go-test-style benchmark lines, which
+// benchgate can also parse.
+func benchCmd(w io.Writer, args []string, jsonOut bool) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	ranksFlag := fs.String("ranks", "64,256", "comma-separated world sizes (ranks, multiples of 8)")
+	iters := fs.Int("iters", experiments.Fig15Iters, "planning stream length per cell; must be >= 2")
+	subJSON := fs.Bool("json", false, "emit the benchfmt artifact as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("bench: unexpected arguments %q", fs.Args())
+	}
+	if *iters < 2 {
+		return usageErrorf("bench: -iters must be >= 2, got %d", *iters)
+	}
+	var ranks []int
+	for _, part := range strings.Split(*ranksFlag, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r <= 0 {
+			return usageErrorf("bench: bad ranks value %q", part)
+		}
+		ranks = append(ranks, r)
+	}
+	jsonOut = jsonOut || *subJSON
+
+	art := &benchfmt.File{Source: "zeppelin bench", Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	for _, r := range ranks {
+		cell, err := experiments.Fig15Bench(r, *iters)
+		if err != nil {
+			return usageError{err}
+		}
+		art.Results = append(art.Results,
+			benchfmt.Result{
+				Name:        fmt.Sprintf("BenchmarkFig15PlanFull/ranks=%d", r),
+				Samples:     1,
+				Iters:       *iters,
+				NsPerOp:     cell.Full.P50Micros * 1e3,
+				AllocsPerOp: cell.Full.AllocsPerPlan,
+				Metrics:     map[string]float64{"p95-micros": cell.Full.P95Micros},
+			},
+			benchfmt.Result{
+				Name:        fmt.Sprintf("BenchmarkFig15PlanIncremental/ranks=%d", r),
+				Samples:     1,
+				Iters:       *iters,
+				NsPerOp:     cell.Incremental.P50Micros * 1e3,
+				AllocsPerOp: cell.Incremental.AllocsPerPlan,
+				Metrics: map[string]float64{
+					"p95-micros":     cell.Incremental.P95Micros,
+					"speedup-p50-x":  cell.SpeedupP50,
+					"max-cost-ratio": cell.MaxCostRatio,
+					"patched-plans":  float64(cell.Modes.Patched),
+				},
+			})
+	}
+	// Name-sorted like benchfmt.Parse's output, so this artifact diffs
+	// directly against the CI-produced one.
+	sort.Slice(art.Results, func(i, j int) bool { return art.Results[i].Name < art.Results[j].Name })
+	if jsonOut {
+		return art.WriteJSON(w)
+	}
+	for _, r := range art.Results {
+		fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%10.0f allocs/op\n", r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
 // campaign subcommand
 // ---------------------------------------------------------------------
 
@@ -277,6 +386,8 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		"seconds charged per replan; must be >= 0 (0 selects the default)")
 	faultsSpec := fs.String("faults", "none",
 		"fault scenario: none|straggler|nic|failstop|shrink, optionally parameterized as name:key=val,...")
+	incremental := fs.Bool("incremental", false,
+		"plan Zeppelin through the incremental planner (exact mode: cached plans are bit-identical, so results match the stateless planner)")
 	subJSON := fs.Bool("json", false, "emit the campaign artifact as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -334,9 +445,17 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	var cfgs []campaign.Config
 	for _, m := range methods {
 		for s := 0; s < seeds; s++ {
+			cell := m
+			if *incremental {
+				if zm, ok := m.(zeppelin.Method); ok {
+					// One planner instance per grid cell: the incremental
+					// method is stateful and single-owner.
+					cell = zeppelin.NewIncremental(zm, partition.IncrementalConfig{})
+				}
+			}
 			cfgs = append(cfgs, campaign.Config{
 				Trainer:    experiments.CampaignCell(experiments.SeedValue(s)),
-				Method:     m,
+				Method:     cell,
 				Iters:      *iters,
 				Arrival:    arrival,
 				Policy:     policy,

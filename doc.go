@@ -12,11 +12,20 @@
 //   - internal/seq        — sequences, rings, placement plans
 //   - internal/flow       — max-flow / min-cost-flow solvers
 //   - internal/partition  — hierarchical sequence partitioner (Alg. 1 + 2)
+//     plus the incremental re-planner: a keyed plan cache with exact
+//     reuse and, under a configured tolerance, delta patching of the
+//     previous plan (departures cut, arrivals greedily re-placed) with
+//     imbalance-drift self-regulation and full-solve fallback on any
+//     health or capacity change
 //   - internal/attention  — three-queue ring attention engine
 //   - internal/routing    — three-step multi-NIC communication routing
 //   - internal/remap      — Eq. 2 remapping layer
 //   - internal/baselines  — TE CP, LLaMA CP, Hybrid DP
-//   - internal/zeppelin   — the assembled system (trainer.Method)
+//   - internal/zeppelin   — the assembled system (trainer.Method); its
+//     Incremental front-end plans through the incremental re-planner and
+//     a keyed cache of Eq. 2 remapping solutions (exact mode is
+//     bit-identical to the stateless method, the property campaigns rely
+//     on)
 //   - internal/trainer    — end-to-end iteration simulation
 //   - internal/runner     — concurrent, memoizing experiment engine
 //   - internal/campaign   — streaming multi-iteration campaigns: arrival
@@ -26,8 +35,12 @@
 //     checkpoint-restart, planned elastic shrink/grow with Eq. 2 state
 //     migration
 //   - internal/experiments— regenerators for every paper table and figure,
-//     plus the fig13 streaming-campaign and fig14 fault comparisons
+//     plus the fig13 streaming-campaign and fig14 fault comparisons and
+//     the fig15 planner fast-path scaling sweep (64 → 1024 ranks, plan
+//     latency and allocations, full vs incremental)
 //   - internal/trace      — Fig. 12-style timeline and campaign rendering
+//   - internal/benchfmt   — benchmark-artifact JSON schema shared by the
+//     CI bench-regression gate (cmd/benchgate) and `zeppelin bench`
 //
 // See README.md for a tour and DESIGN.md for the system inventory and the
 // per-experiment index.

@@ -1,0 +1,105 @@
+package benchfmt
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: zeppelin
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig15PlanFull-8     	      10	   1200000 ns/op	  500000 B/op	    9000 allocs/op
+BenchmarkFig15PlanFull-8     	      12	   1000000 ns/op	  480000 B/op	    8800 allocs/op
+BenchmarkFig15PlanIncremental-8	      30	    300000 ns/op	  120000 B/op	    2000 allocs/op
+BenchmarkFig8EndToEnd-8      	       3	 900000000 ns/op	         2.10 avg-speedup-x
+PASS
+ok  	zeppelin	12.3s
+`
+
+func TestParseAggregatesSamples(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU == "" {
+		t.Fatalf("header not parsed: %+v", f)
+	}
+	full := f.Get("BenchmarkFig15PlanFull")
+	if full == nil {
+		t.Fatal("missing aggregated full result")
+	}
+	if full.Samples != 2 || full.NsPerOp != 1000000 || full.Iters != 12 {
+		t.Fatalf("min aggregation wrong: %+v", full)
+	}
+	if full.BytesPerOp != 480000 || full.AllocsPerOp != 8800 {
+		t.Fatalf("benchmem min aggregation wrong: %+v", full)
+	}
+	e2e := f.Get("BenchmarkFig8EndToEnd")
+	if e2e == nil || e2e.Metrics["avg-speedup-x"] != 2.10 {
+		t.Fatalf("custom metric lost: %+v", e2e)
+	}
+	// Results sorted by name for stable artifacts.
+	for i := 1; i < len(f.Results); i++ {
+		if f.Results[i-1].Name > f.Results[i].Name {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(f.Results) || back.Get("BenchmarkFig15PlanFull").NsPerOp != 1000000 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base := &File{Results: []Result{
+		{Name: "BenchmarkFig15PlanFull", NsPerOp: 1000},
+		{Name: "BenchmarkFig15PlanIncremental", NsPerOp: 300},
+		{Name: "BenchmarkFig8EndToEnd", NsPerOp: 1e9},
+		{Name: "BenchmarkRetired", NsPerOp: 5},
+	}}
+	cur := &File{Results: []Result{
+		{Name: "BenchmarkFig15PlanFull", NsPerOp: 1100},       // +10%: ok
+		{Name: "BenchmarkFig15PlanIncremental", NsPerOp: 600}, // +100%: regression
+		{Name: "BenchmarkFig8EndToEnd", NsPerOp: 5e9},         // outside the gate
+		{Name: "BenchmarkFig15PlanNew", NsPerOp: 50},          // no baseline: skipped
+	}}
+	gate := regexp.MustCompile(`Fig15|Retired`)
+	regs, skipped := Compare(base, cur, gate, 0.15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkFig15PlanIncremental" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Ratio < 1.99 || regs[0].Ratio > 2.01 {
+		t.Fatalf("ratio = %v", regs[0].Ratio)
+	}
+	wantSkipped := 0
+	for _, s := range skipped {
+		if strings.HasPrefix(s, "BenchmarkFig15PlanNew") || strings.HasPrefix(s, "BenchmarkRetired") {
+			wantSkipped++
+		}
+	}
+	if wantSkipped != 2 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	// Ungated comparison flags the end-to-end slowdown too.
+	regs, _ = Compare(base, cur, nil, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("ungated regressions = %+v", regs)
+	}
+}

@@ -45,6 +45,16 @@ type ShapeIndependent interface {
 	ShapeIndependent() bool
 }
 
+// Replanner is implemented by stateful methods whose planner carries
+// state across iterations — plan caches, incremental patch bases
+// (zeppelin.Incremental opts in). The campaign resets that state at Run
+// start so a reused method instance produces the same stream run over
+// run; sharing one Replanner instance across concurrent grid cells is a
+// caller bug.
+type Replanner interface {
+	ResetPlanner()
+}
+
 // SpeedAware is implemented by methods that re-plan against the degraded
 // effective-speed cluster view (Zeppelin opts in): their fresh-plan and
 // stale-plan projections weight rank loads by slowdown, so straggler
@@ -160,6 +170,9 @@ func (c *Config) speedAware() bool {
 func Run(cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if rp, ok := cfg.Method.(Replanner); ok {
+		rp.ResetPlanner()
 	}
 	espec := cfg.Trainer.EffectiveSpec()
 	rpn := espec.GPUsPerNode // DP ranks per node

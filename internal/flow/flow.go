@@ -18,11 +18,21 @@ type edge struct {
 	cost float64
 }
 
-// Graph is a directed flow network on n nodes.
+// Graph is a directed flow network on n nodes. Solver scratch (BFS
+// levels, SPFA queues) lives on the graph and is reused across MaxFlow /
+// MinCostFlow calls, so repeated solves on long-lived graphs stay off
+// the allocator.
 type Graph struct {
 	n     int
 	edges []edge // paired: edge i and i^1 are residual partners
 	head  [][]int
+
+	level    []int
+	iter     []int
+	queue    []int
+	dist     []float64
+	inQueue  []bool
+	prevEdge []int
 }
 
 // NewGraph creates a flow network with n nodes (0..n-1).
@@ -68,20 +78,21 @@ func (g *Graph) MaxFlow(s, t int) int {
 		return 0
 	}
 	total := 0
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
+	level := g.scratchInts(&g.level)
+	iter := g.scratchInts(&g.iter)
+	queue := g.scratchQueue()[:0]
 
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
+		// Head-index draining keeps the queue's backing array stable, so
+		// the scratch buffer (and any growth) survives into later calls.
 		queue = queue[:0]
 		level[s] = 0
 		queue = append(queue, s)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
 			for _, id := range g.head[u] {
 				e := g.edges[id]
 				if e.cap > 0 && level[e.to] < 0 {
@@ -90,6 +101,7 @@ func (g *Graph) MaxFlow(s, t int) int {
 				}
 			}
 		}
+		g.queue = queue
 		return level[t] >= 0
 	}
 
@@ -141,9 +153,16 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
 	}
 	totalFlow := 0
 	totalCost := 0.0
-	dist := make([]float64, g.n)
-	inQueue := make([]bool, g.n)
-	prevEdge := make([]int, g.n)
+	if cap(g.dist) < g.n {
+		g.dist = make([]float64, g.n)
+		g.inQueue = make([]bool, g.n)
+	}
+	dist := g.dist[:g.n]
+	inQueue := g.inQueue[:g.n]
+	for i := range inQueue {
+		inQueue[i] = false
+	}
+	prevEdge := g.scratchInts(&g.prevEdge)
 
 	for totalFlow < maxFlow {
 		// Bellman–Ford (SPFA) over the residual graph; residual arcs can
@@ -153,11 +172,12 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		queue := []int{s}
+		// Head-index draining (no re-slicing) so the scratch queue's
+		// backing — including SPFA growth beyond n — is retained on g.
+		queue := append(g.scratchQueue(), s)
 		inQueue[s] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
 			inQueue[u] = false
 			for _, id := range g.head[u] {
 				e := g.edges[id]
@@ -175,6 +195,7 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
 				}
 			}
 		}
+		g.queue = queue
 		if math.IsInf(dist[t], 1) {
 			break
 		}
@@ -197,4 +218,20 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, float64) {
 		totalCost += float64(push) * dist[t]
 	}
 	return totalFlow, totalCost
+}
+
+// scratchInts returns a length-n int scratch slice stored at p.
+func (g *Graph) scratchInts(p *[]int) []int {
+	if cap(*p) < g.n {
+		*p = make([]int, g.n)
+	}
+	return (*p)[:g.n]
+}
+
+// scratchQueue returns the shared BFS/SPFA queue buffer.
+func (g *Graph) scratchQueue() []int {
+	if cap(g.queue) < g.n {
+		g.queue = make([]int, 0, g.n)
+	}
+	return g.queue[:0]
 }

@@ -1,0 +1,653 @@
+// Incremental re-planning fast path. Streaming campaigns re-run the
+// partitioner every iteration, so planning latency bounds campaign
+// goodput. The Incremental planner exploits how little the input usually
+// changes between consecutive iterations: it keeps a keyed plan cache
+// (exact reuse of a previously solved batch under the same cluster view)
+// and, when a tolerance is configured, patches the previous plan in place
+// of a full solve — removing departed sequences and greedily re-placing
+// only the arrivals — whenever the batch delta is small and structurally
+// local. Any health change (effective-speed view), elastic resize,
+// capacity change, or structurally large delta invalidates the fast path
+// and falls back to the full hierarchical solve.
+//
+// The patch path is engineered for latency: the previous placement lives
+// in a roster sorted by sequence ID, so the batch delta is a two-pointer
+// merge (no per-call map churn), plan copies share one flat backing
+// array, and all transient state sits in reused scratch buffers. Patched
+// plans are cost-equal to full solves within the configured drift (the
+// golden tests pin this), and every fast-path decision is deterministic,
+// so campaigns running over an Incremental planner remain
+// bit-reproducible per (Config, seed).
+package partition
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"slices"
+
+	"zeppelin/internal/seq"
+)
+
+// PlanMode identifies how the Incremental planner produced a plan.
+type PlanMode uint8
+
+// The three fast-path outcomes: a full hierarchical solve, a patch of the
+// previous plan, or an exact keyed-cache hit.
+const (
+	PlanFull PlanMode = iota
+	PlanPatched
+	PlanCached
+)
+
+// String names a mode for stats output.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanFull:
+		return "full"
+	case PlanPatched:
+		return "patched"
+	case PlanCached:
+		return "cached"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// PlanStats describes one Plan call's fast-path decision.
+type PlanStats struct {
+	Mode PlanMode
+	// AddedSeqs/RemovedSeqs/DeltaTokens quantify the batch delta against
+	// the previous plan (zero on full solves without a predecessor and on
+	// cache hits).
+	AddedSeqs   int
+	RemovedSeqs int
+	DeltaTokens int
+}
+
+// Counters accumulates fast-path decisions over a planner's lifetime.
+type Counters struct {
+	Full    int `json:"full"`
+	Patched int `json:"patched"`
+	Cached  int `json:"cached"`
+}
+
+// Plans returns the total number of Plan calls counted.
+func (c Counters) Plans() int { return c.Full + c.Patched + c.Cached }
+
+// IncrementalConfig tunes the fast path.
+type IncrementalConfig struct {
+	// MaxDeltaFrac is the largest fraction of the incoming batch's tokens
+	// that may differ from the previous batch for patching to apply. Zero
+	// disables patching entirely — the planner then only reuses exact
+	// keyed-cache hits, which are bit-identical to full solves, the mode
+	// campaigns use when stream identity matters.
+	MaxDeltaFrac float64
+	// MaxImbalanceDrift self-regulates patch quality: a patched plan
+	// whose load imbalance exceeds (1 + drift) × the imbalance of the
+	// planner's last full solve is discarded and re-solved in full. This
+	// catches the discontinuous cases — a threshold shift that would have
+	// re-split a long sequence — where greedy patching cannot follow the
+	// full algorithm. <= 0 selects 0.15.
+	MaxImbalanceDrift float64
+	// MaxPatchRun bounds consecutive patches before a forced full solve,
+	// so patch chains cannot drift arbitrarily far from a solved base.
+	// <= 0 selects 16.
+	MaxPatchRun int
+	// CacheCap bounds the keyed plan cache (entries); <= 0 selects 16.
+	CacheCap int
+}
+
+// Fast-path defaults; see IncrementalConfig.
+const (
+	DefaultCacheCap          = 16
+	DefaultMaxImbalanceDrift = 0.15
+	DefaultMaxPatchRun       = 16
+)
+
+// Incremental is a stateful planner for re-planning hot paths. Not safe
+// for concurrent use; a campaign owns exactly one.
+type Incremental struct {
+	inc  IncrementalConfig
+	part *Partitioner
+
+	cache []cacheEntry // front = most recent; tiny, scanned linearly
+
+	// Patch base: the most recent plan, its per-rank token loads, and its
+	// placement roster sorted by sequence ID.
+	haveBase    bool
+	cfgWorld    int
+	cfgNodes    int
+	cfgCapacity int
+	speeds      []float64
+	res         *Result
+	loads       []int
+	roster      []placedSeq
+	rosterDup   bool // duplicate IDs in base batch: merge diff is ambiguous
+	minS0       int
+
+	// baseImb is the load imbalance of the current patch base (the last
+	// full solve or cache adoption); patchRun counts consecutive patches
+	// since then.
+	baseImb  float64
+	patchRun int
+
+	counters Counters
+	seed     maphash.Seed
+
+	// Reused scratch.
+	keyBuf   []byte
+	curBuf   []placedSeq // incoming batch sorted by ID
+	nextBuf  []placedSeq // next roster under construction (swapped in)
+	added    []addedSeq
+	removed  []placedSeq
+	loadsBuf []int
+	share    []int
+}
+
+// placedSeq is one roster entry: a sequence and where the plan holds it.
+type placedSeq struct {
+	s    seq.Sequence
+	rank int32 // owning rank for local placements; -1 for ring sequences
+	ring bool
+}
+
+// addedSeq is an arrival pending greedy placement, remembering its slot
+// in the next roster so the chosen rank can be written back.
+type addedSeq struct {
+	s   seq.Sequence
+	pos int
+}
+
+// cacheEntry is one keyed plan: the exact inputs plus the solved result.
+// Results are immutable once cached (patching copies, never mutates).
+// baseImb and patchRun snapshot the drift-regulation state at insertion,
+// so adopting a cached *patched* plan as the new patch base restores its
+// original full-solve anchor instead of re-anchoring on the drifted
+// value (which would compound MaxImbalanceDrift cycle over cycle).
+type cacheEntry struct {
+	key      uint64
+	world    int
+	capacity int
+	speeds   []float64
+	batch    []seq.Sequence
+	res      *Result
+	baseImb  float64
+	patchRun int
+}
+
+// NewIncremental builds an incremental planner.
+func NewIncremental(inc IncrementalConfig) *Incremental {
+	if inc.CacheCap <= 0 {
+		inc.CacheCap = DefaultCacheCap
+	}
+	if inc.MaxDeltaFrac < 0 {
+		inc.MaxDeltaFrac = 0
+	}
+	if inc.MaxImbalanceDrift <= 0 {
+		inc.MaxImbalanceDrift = DefaultMaxImbalanceDrift
+	}
+	if inc.MaxPatchRun <= 0 {
+		inc.MaxPatchRun = DefaultMaxPatchRun
+	}
+	return &Incremental{inc: inc, seed: maphash.MakeSeed()}
+}
+
+// Counters reports the cumulative fast-path decision counts.
+func (p *Incremental) Counters() Counters { return p.counters }
+
+// Reset drops the plan cache and patch state, returning the planner to
+// cold. Campaigns call it at start so a reused planner instance is
+// deterministic run over run.
+func (p *Incremental) Reset() {
+	p.cache = p.cache[:0]
+	p.haveBase = false
+	p.res = nil
+	p.counters = Counters{}
+	p.baseImb = 0
+	p.patchRun = 0
+}
+
+// Plan produces a placement for the batch under the configuration,
+// taking the fastest sound path: exact cache hit, patch of the previous
+// plan, or full solve. The returned Result is immutable — callers and
+// the cache share it.
+func (p *Incremental) Plan(cfg Config, batch []seq.Sequence) (*Result, PlanStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, PlanStats{}, err
+	}
+	key := p.hashKey(cfg, batch)
+
+	// Exact keyed reuse: same cluster view, capacity, and batch.
+	if e := p.lookup(key, cfg, batch); e != nil {
+		p.counters.Cached++
+		res, baseImb, patchRun := e.res, e.baseImb, e.patchRun
+		p.rebuildBase(cfg, res)
+		// Restore the entry's drift anchor: a cached patched plan keeps
+		// the full-solve baseline it was judged against.
+		p.baseImb = baseImb
+		p.patchRun = patchRun
+		return res, PlanStats{Mode: PlanCached}, nil
+	}
+
+	// Patch the previous plan when the delta is small and structural
+	// conditions hold. tryPatch installs the new base itself, so only the
+	// cache entry remains to store.
+	if res, st, ok := p.tryPatch(cfg, batch); ok {
+		p.counters.Patched++
+		p.patchRun++
+		p.insertCache(key, cfg, batch, res)
+		return res, st, nil
+	}
+
+	// Full hierarchical solve, reusing the partitioner's scratch.
+	if p.part == nil {
+		part, err := New(cfg)
+		if err != nil {
+			return nil, PlanStats{}, err
+		}
+		p.part = part
+	} else if err := p.part.Reconfigure(cfg); err != nil {
+		return nil, PlanStats{}, err
+	}
+	res, err := p.part.Plan(batch)
+	if err != nil {
+		return nil, PlanStats{}, err
+	}
+	p.counters.Full++
+	// Rebuild the base first: insertCache snapshots the fresh drift
+	// anchor (this solve's own imbalance, patchRun 0).
+	p.rebuildBase(cfg, res)
+	p.insertCache(key, cfg, batch, res)
+	return res, PlanStats{Mode: PlanFull}, nil
+}
+
+// hashKey folds the cluster view, capacity, and batch into a cache key
+// through one flat buffer hash (per-field Write calls are measurable at
+// thousand-sequence batch sizes).
+func (p *Incremental) hashKey(cfg Config, batch []seq.Sequence) uint64 {
+	need := 8 * (4 + len(cfg.Speeds) + 1 + 2*len(batch))
+	if cap(p.keyBuf) < need {
+		p.keyBuf = make([]byte, need)
+	}
+	b := p.keyBuf[:0]
+	put := func(u uint64) {
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	put(uint64(cfg.Cluster.Nodes))
+	put(uint64(cfg.Cluster.GPUsPerNode))
+	put(uint64(cfg.CapacityTokens))
+	put(uint64(len(cfg.Speeds)))
+	for _, s := range cfg.Speeds {
+		put(math.Float64bits(s))
+	}
+	put(uint64(len(batch)))
+	for _, s := range batch {
+		put(uint64(s.ID))
+		put(uint64(s.Len))
+	}
+	p.keyBuf = b
+	return maphash.Bytes(p.seed, b)
+}
+
+// lookup finds a cache entry whose key and exact inputs match, promoting
+// it to the front (LRU order).
+func (p *Incremental) lookup(key uint64, cfg Config, batch []seq.Sequence) *cacheEntry {
+	for i := range p.cache {
+		e := &p.cache[i]
+		if e.key != key || e.world != cfg.Cluster.World() || e.capacity != cfg.CapacityTokens {
+			continue
+		}
+		if !sameSpeeds(e.speeds, cfg.Speeds) || !sameBatch(e.batch, batch) {
+			continue
+		}
+		if i != 0 {
+			hit := *e
+			copy(p.cache[1:i+1], p.cache[:i])
+			p.cache[0] = hit
+		}
+		return &p.cache[0]
+	}
+	return nil
+}
+
+// insertCache fronts a solved plan in the keyed cache (LRU eviction),
+// snapshotting the planner's current drift anchor. Callers insert after
+// updating baseImb/patchRun for the plan being cached.
+func (p *Incremental) insertCache(key uint64, cfg Config, batch []seq.Sequence, res *Result) {
+	e := cacheEntry{
+		key:      key,
+		world:    cfg.Cluster.World(),
+		capacity: cfg.CapacityTokens,
+		speeds:   copyF(cfg.Speeds),
+		batch:    append([]seq.Sequence(nil), batch...),
+		res:      res,
+		baseImb:  p.baseImb,
+		patchRun: p.patchRun,
+	}
+	if len(p.cache) < p.inc.CacheCap {
+		p.cache = append(p.cache, cacheEntry{})
+	}
+	copy(p.cache[1:], p.cache[:len(p.cache)-1])
+	p.cache[0] = e
+}
+
+// rebuildBase reconstructs the patch base from a solved plan: per-rank
+// loads plus the ID-sorted placement roster. Runs on full solves and
+// cache adoptions only; patches maintain the base incrementally. In
+// exact mode (MaxDeltaFrac 0) there is nothing to patch, so the roster
+// and load accounting are skipped entirely — exact-mode planning is
+// then the stateless solve plus a cache probe and nothing else.
+func (p *Incremental) rebuildBase(cfg Config, res *Result) {
+	if p.inc.MaxDeltaFrac <= 0 {
+		return
+	}
+	p.haveBase = true
+	p.cfgWorld = cfg.Cluster.World()
+	p.cfgNodes = cfg.Cluster.Nodes
+	p.cfgCapacity = cfg.CapacityTokens
+	p.speeds = copyF(cfg.Speeds)
+	p.res = res
+	p.loads = res.Plan.TokensPerRankInto(p.loads, p.share)
+
+	roster := p.roster[:0]
+	for r, ls := range res.Plan.Local {
+		for _, s := range ls {
+			roster = append(roster, placedSeq{s: s, rank: int32(r)})
+		}
+	}
+	for _, ring := range res.Plan.Rings {
+		roster = append(roster, placedSeq{s: ring.Seq, rank: -1, ring: true})
+	}
+	slices.SortFunc(roster, func(a, b placedSeq) int { return a.s.ID - b.s.ID })
+	p.roster = roster
+	p.rosterDup = false
+	for i := 1; i < len(roster); i++ {
+		if roster[i].s.ID == roster[i-1].s.ID {
+			p.rosterDup = true
+			break
+		}
+	}
+
+	p.minS0 = cfg.CapacityTokens
+	for _, s0 := range res.S0 {
+		if s0 < p.minS0 {
+			p.minS0 = s0
+		}
+	}
+	p.baseImb = effImbalance(p.loads, cfg.Speeds)
+	p.patchRun = 0
+}
+
+// tryPatch attempts the delta patch. It never mutates planner state on
+// failure; on success it installs the patched plan as the new base.
+func (p *Incremental) tryPatch(cfg Config, batch []seq.Sequence) (*Result, PlanStats, bool) {
+	if !p.haveBase || p.rosterDup || p.inc.MaxDeltaFrac <= 0 || p.patchRun >= p.inc.MaxPatchRun {
+		return nil, PlanStats{}, false
+	}
+	// Structural invalidation: elastic resize, capacity change, or any
+	// health (effective-speed) change forces the full solve — a patched
+	// plan would balance against a stale cluster view.
+	if p.cfgWorld != cfg.Cluster.World() || p.cfgNodes != cfg.Cluster.Nodes ||
+		p.cfgCapacity != cfg.CapacityTokens || !sameSpeeds(p.speeds, cfg.Speeds) {
+		return nil, PlanStats{}, false
+	}
+
+	removed, added, next, deltaTokens, total, ok := p.diff(batch)
+	if !ok {
+		return nil, PlanStats{}, false
+	}
+	if total == 0 || float64(deltaTokens) > p.inc.MaxDeltaFrac*float64(total) {
+		return nil, PlanStats{}, false
+	}
+	// Arrivals must be local-zone everywhere (below every node's intra
+	// threshold): longer sequences need the ring machinery of the full
+	// solve.
+	for _, a := range added {
+		if a.s.Len >= p.minS0 {
+			return nil, PlanStats{}, false
+		}
+	}
+
+	// Work on copies so a mid-patch capacity failure leaves no trace.
+	plan := p.copyPlanFlat(p.res.Plan)
+	loads := growI(p.loadsBuf, len(p.loads))
+	p.loadsBuf = loads
+	copy(loads, p.loads)
+
+	for _, rm := range removed {
+		if rm.ring {
+			if !cutRing(plan, rm.s.ID, loads, &p.share) {
+				return nil, PlanStats{}, false
+			}
+			continue
+		}
+		if !cutLocal(plan, int(rm.rank), rm.s.ID, loads) {
+			return nil, PlanStats{}, false
+		}
+	}
+
+	// Greedy re-placement of arrivals, longest first — the same
+	// least-loaded criterion Alg. 2 uses for the local zone. The chosen
+	// rank is written back into the next roster through each arrival's
+	// remembered slot.
+	L := cfg.CapacityTokens
+	slices.SortFunc(added, func(a, b addedSeq) int {
+		if a.s.Len != b.s.Len {
+			return b.s.Len - a.s.Len
+		}
+		return a.s.ID - b.s.ID
+	})
+	for _, a := range added {
+		d := argminLoad(loads, cfg.Speeds)
+		if loads[d]+a.s.Len > L {
+			return nil, PlanStats{}, false
+		}
+		plan.Local[d] = append(plan.Local[d], a.s)
+		loads[d] += a.s.Len
+		next[a.pos].rank = int32(d)
+	}
+
+	// Quality self-regulation: a patch whose balance drifts past the
+	// full-solve base would hide a restructuring the full algorithm wants
+	// (threshold shift, re-split); discard it and solve in full.
+	if effImbalance(loads, cfg.Speeds) > p.baseImb*(1+p.inc.MaxImbalanceDrift) {
+		return nil, PlanStats{}, false
+	}
+
+	res := &Result{Plan: plan, S1: p.res.S1, S0: append([]int(nil), p.res.S0...)}
+
+	// Commit: swap in the next roster and loads; the old buffers become
+	// scratch for the following patch.
+	p.res = res
+	p.roster, p.nextBuf = next, p.roster
+	p.loads, p.loadsBuf = loads, p.loads
+	return res, PlanStats{
+		Mode:        PlanPatched,
+		AddedSeqs:   len(added),
+		RemovedSeqs: len(removed),
+		DeltaTokens: deltaTokens,
+	}, true
+}
+
+// diff computes the delta between the base roster and the incoming batch
+// as a two-pointer merge over ID-sorted views, and assembles the next
+// roster (matched entries keep their placement; arrivals hold a
+// placeholder rank their greedy slot fills in). Duplicate IDs on either
+// side make placement bookkeeping ambiguous and decline the patch.
+func (p *Incremental) diff(batch []seq.Sequence) (removed []placedSeq, added []addedSeq, next []placedSeq, deltaTokens, total int, ok bool) {
+	cur := p.curBuf[:0]
+	sorted := true
+	for i, s := range batch {
+		cur = append(cur, placedSeq{s: s})
+		total += s.Len
+		if i > 0 && batch[i-1].ID >= s.ID {
+			sorted = false
+		}
+	}
+	p.curBuf = cur
+	if !sorted {
+		// Samplers emit ascending IDs and arrivals append larger ones, so
+		// streams are usually pre-sorted; pay the sort only when not.
+		slices.SortFunc(cur, func(a, b placedSeq) int { return a.s.ID - b.s.ID })
+	}
+	for i := 1; i < len(cur); i++ {
+		if cur[i].s.ID == cur[i-1].s.ID {
+			return nil, nil, nil, 0, 0, false
+		}
+	}
+
+	next = p.nextBuf[:0]
+	removed = p.removed[:0]
+	added = p.added[:0]
+	base := p.roster
+	i, j := 0, 0
+	for i < len(base) || j < len(cur) {
+		switch {
+		case i == len(base) || (j < len(cur) && cur[j].s.ID < base[i].s.ID):
+			added = append(added, addedSeq{s: cur[j].s, pos: len(next)})
+			next = append(next, placedSeq{s: cur[j].s, rank: -2})
+			deltaTokens += cur[j].s.Len
+			j++
+		case j == len(cur) || base[i].s.ID < cur[j].s.ID:
+			removed = append(removed, base[i])
+			deltaTokens += base[i].s.Len
+			i++
+		case base[i].s.Len == cur[j].s.Len:
+			next = append(next, base[i])
+			i++
+			j++
+		default:
+			// Same ID, new length: departure plus arrival.
+			removed = append(removed, base[i])
+			deltaTokens += base[i].s.Len
+			added = append(added, addedSeq{s: cur[j].s, pos: len(next)})
+			next = append(next, placedSeq{s: cur[j].s, rank: -2})
+			deltaTokens += cur[j].s.Len
+			i++
+			j++
+		}
+	}
+	p.nextBuf = next
+	p.removed = removed
+	p.added = added
+	return removed, added, next, deltaTokens, total, true
+}
+
+// copyPlanFlat deep-copies a plan's structure through one flat backing
+// array, so the copy itself costs O(sequences) with O(1) allocations
+// instead of one per rank. Per-rank slices are capped (three-index), so
+// a later cut or arrival append reallocates just that rank's list —
+// O(delta) small allocations per patch. Ring rank/weight slices are
+// shared — they are immutable once built.
+func (p *Incremental) copyPlanFlat(src *seq.Plan) *seq.Plan {
+	total := 0
+	for _, ls := range src.Local {
+		total += len(ls)
+	}
+	flat := make([]seq.Sequence, 0, total)
+	out := seq.NewPlan(src.World)
+	for r, ls := range src.Local {
+		if len(ls) == 0 {
+			continue
+		}
+		start := len(flat)
+		flat = append(flat, ls...)
+		out.Local[r] = flat[start:len(flat):len(flat)]
+	}
+	out.Rings = append([]seq.Ring(nil), src.Rings...)
+	return out
+}
+
+// cutLocal removes a sequence from a rank's local list, updating loads.
+// The slice is copy-on-write (three-index append) so the source plan the
+// backing array may still serve stays intact.
+func cutLocal(plan *seq.Plan, rank, id int, loads []int) bool {
+	ls := plan.Local[rank]
+	for i, s := range ls {
+		if s.ID == id {
+			loads[rank] -= s.Len
+			plan.Local[rank] = append(ls[:i:i], ls[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// cutRing removes the ring carrying a sequence, updating member loads.
+func cutRing(plan *seq.Plan, id int, loads []int, share *[]int) bool {
+	for i, ring := range plan.Rings {
+		if ring.Seq.ID != id {
+			continue
+		}
+		*share = ring.TokensPerRankInto(*share)
+		for j, r := range ring.Ranks {
+			loads[r] -= (*share)[j]
+		}
+		plan.Rings = append(plan.Rings[:i:i], plan.Rings[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// effImbalance is LoadImbalance over a precomputed load vector.
+func effImbalance(loads []int, speeds []float64) float64 {
+	var sum, max float64
+	for i, t := range loads {
+		eff := float64(t)
+		if speeds != nil {
+			eff /= speeds[i]
+		}
+		sum += eff
+		if eff > max {
+			max = eff
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// LoadImbalance is the cost metric the fast path is judged by: the
+// maximum over ranks of effective token load (tokens/speed; raw tokens on
+// a healthy view) divided by the mean. Patched plans must stay within
+// tolerance of the full solve's value.
+func LoadImbalance(plan *seq.Plan, speeds []float64) float64 {
+	return effImbalance(plan.TokensPerRank(), speeds)
+}
+
+// sameSpeeds compares two speed vectors (nil == nil, not nil == uniform).
+func sameSpeeds(a, b []float64) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameBatch compares batches element-wise (order-sensitive).
+func sameBatch(a, b []seq.Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyF copies a float slice, preserving nil.
+func copyF(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	return append([]float64(nil), s...)
+}

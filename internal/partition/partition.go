@@ -7,6 +7,12 @@
 // algorithms iteratively lower their zone threshold whenever a placement
 // would exceed capacity, which guarantees a feasible plan whenever the
 // batch fits in aggregate memory.
+//
+// A Partitioner owns reusable scratch buffers: repeated Plan calls (the
+// per-iteration hot path of streaming campaigns) and the threshold-retry
+// loops inside one call allocate almost nothing beyond the plan they
+// return. The Incremental planner (incremental.go) layers a keyed plan
+// cache and delta patching on top for the re-planning fast path.
 package partition
 
 import (
@@ -33,30 +39,69 @@ type Config struct {
 	Speeds []float64
 }
 
-// Partitioner runs the two-level hierarchical strategy.
+// validate checks a configuration.
+func (cfg *Config) validate() error {
+	if cfg.Cluster == nil {
+		return fmt.Errorf("partition: nil cluster")
+	}
+	if cfg.CapacityTokens <= 0 {
+		return fmt.Errorf("partition: capacity must be positive, got %d", cfg.CapacityTokens)
+	}
+	if cfg.Speeds != nil {
+		if len(cfg.Speeds) != cfg.Cluster.World() {
+			return fmt.Errorf("partition: %d speeds for world of %d", len(cfg.Speeds), cfg.Cluster.World())
+		}
+		for r, s := range cfg.Speeds {
+			if s <= 0 {
+				return fmt.Errorf("partition: rank %d has non-positive speed %v", r, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Partitioner runs the two-level hierarchical strategy. The zero value is
+// unusable; construct with New. Not safe for concurrent use (the scratch
+// buffers are shared across calls).
 type Partitioner struct {
 	cfg Config
+
+	// Scratch reused across Plan calls and threshold retries. None of
+	// these are retained by returned plans.
+	sorted     []seq.Sequence
+	z01, z2    []seq.Sequence // Alg. 1 zone split
+	z0, z1     []seq.Sequence // Alg. 2 zone split
+	nodeLoad   []int
+	nodeSeqs   [][]seq.Sequence
+	inters     []interPlacement
+	interShare [][]int
+	devLoad    []int
+	local      [][]seq.Sequence
+	rings      []seq.Ring
+	share      []int
+	pick       []int     // leastLoaded result scratch
+	eff        []float64 // effective time-load scratch
+	nodeSpeed  []float64
+	devSpeed   []float64
 }
 
 // New validates the configuration.
 func New(cfg Config) (*Partitioner, error) {
-	if cfg.Cluster == nil {
-		return nil, fmt.Errorf("partition: nil cluster")
-	}
-	if cfg.CapacityTokens <= 0 {
-		return nil, fmt.Errorf("partition: capacity must be positive, got %d", cfg.CapacityTokens)
-	}
-	if cfg.Speeds != nil {
-		if len(cfg.Speeds) != cfg.Cluster.World() {
-			return nil, fmt.Errorf("partition: %d speeds for world of %d", len(cfg.Speeds), cfg.Cluster.World())
-		}
-		for r, s := range cfg.Speeds {
-			if s <= 0 {
-				return nil, fmt.Errorf("partition: rank %d has non-positive speed %v", r, s)
-			}
-		}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return &Partitioner{cfg: cfg}, nil
+}
+
+// Reconfigure swaps the configuration while keeping the scratch buffers,
+// so a long-lived planner (the Incremental fast path) re-plans under a
+// changed capacity or effective-speed view without re-allocating.
+func (p *Partitioner) Reconfigure(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	p.cfg = cfg
+	return nil
 }
 
 // Result is a placement plan plus the thresholds the algorithms converged
@@ -78,7 +123,9 @@ type interPlacement struct {
 
 // Plan partitions a batch across the cluster. It errors if the batch
 // cannot fit (total tokens exceed aggregate capacity) or if any single
-// sequence exceeds the cluster-wide token capacity.
+// sequence exceeds the cluster-wide token capacity. The returned plan
+// shares nothing with the partitioner's scratch and stays valid across
+// later Plan calls.
 func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 	c := p.cfg.Cluster
 	N, P, L := c.Nodes, c.GPUsPerNode, p.cfg.CapacityTokens
@@ -90,23 +137,15 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 			return nil, fmt.Errorf("partition: sequence %d has non-positive length", s.ID)
 		}
 	}
-	sorted := append([]seq.Sequence(nil), batch...)
-	seq.SortByLenDesc(sorted)
+	p.sorted = append(p.sorted[:0], batch...)
+	seq.SortByLenDesc(p.sorted)
 
 	// Under a degraded cluster view, a node's effective speed is the sum
 	// of its ranks' speeds — Alg. 1 then assigns fewer tokens to nodes
 	// hosting stragglers.
-	var nodeSpeed []float64
-	if p.cfg.Speeds != nil {
-		nodeSpeed = make([]float64, N)
-		for n := 0; n < N; n++ {
-			for _, r := range c.RanksOfNode(n) {
-				nodeSpeed[n] += p.cfg.Speeds[r]
-			}
-		}
-	}
+	nodeSpeed := p.nodeSpeeds(N)
 
-	nodeSeqs, inters, s1, err := interPartition(sorted, N, P, L, nodeSpeed)
+	nodeSeqs, inters, s1, err := p.interPartition(p.sorted, N, P, L, nodeSpeed)
 	if err != nil {
 		return nil, err
 	}
@@ -117,12 +156,9 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 	// Inter-node rings: a sequence chunked over k nodes rings over all
 	// k·P ranks (Alg. 2 lines 4–6 split each node's chunk across all P
 	// devices). A chunk count of 1 degenerates to an intra-node ring.
-	interShare := make([][]int, N) // per node: token loads contributed by inter rings, per device
-	for n := 0; n < N; n++ {
-		interShare[n] = make([]int, P)
-	}
+	interShare := p.interShareBuf(N, P)
 	for _, ip := range inters {
-		var ranks []int
+		ranks := make([]int, 0, len(ip.nodes)*P)
 		for _, n := range ip.nodes {
 			ranks = append(ranks, c.RanksOfNode(n)...)
 		}
@@ -132,9 +168,9 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 		}
 		ring := seq.Ring{Seq: ip.s, Zone: zone, Ranks: ranks, Weights: p.ringWeights(ranks)}
 		plan.Rings = append(plan.Rings, ring)
-		share := ring.TokensPerRank()
+		p.share = ring.TokensPerRankInto(p.share)
 		for i, r := range ranks {
-			interShare[c.NodeOf(r)][c.LocalRank(r)] += share[i]
+			interShare[c.NodeOf(r)][c.LocalRank(r)] += p.share[i]
 		}
 	}
 
@@ -148,22 +184,69 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 	return res, nil
 }
 
+// nodeSpeeds computes the per-node effective speed scratch (nil when the
+// cluster view is healthy).
+func (p *Partitioner) nodeSpeeds(n int) []float64 {
+	if p.cfg.Speeds == nil {
+		return nil
+	}
+	c := p.cfg.Cluster
+	p.nodeSpeed = growF(p.nodeSpeed, n)
+	for nd := 0; nd < n; nd++ {
+		var sum float64
+		lo := nd * c.GPUsPerNode
+		for i := 0; i < c.GPUsPerNode; i++ {
+			sum += p.cfg.Speeds[lo+i]
+		}
+		p.nodeSpeed[nd] = sum
+	}
+	return p.nodeSpeed
+}
+
+// interShareBuf returns the zeroed per-node × per-device inter-ring load
+// scratch.
+func (p *Partitioner) interShareBuf(n, dev int) [][]int {
+	if cap(p.interShare) < n {
+		p.interShare = make([][]int, n)
+	}
+	p.interShare = p.interShare[:n]
+	for i := range p.interShare {
+		p.interShare[i] = growI(p.interShare[i], dev)
+		for j := range p.interShare[i] {
+			p.interShare[i][j] = 0
+		}
+	}
+	return p.interShare
+}
+
 // interPartition is Algorithm 1. sorted must be in descending length
 // order. It returns the per-node whole-sequence assignments, the chunked
 // inter-node placements, and the converged threshold s1. nodeSpeed, when
 // non-nil, weighs every greedy load comparison by each node's effective
-// speed (nil reproduces the homogeneous behavior bit for bit).
-func interPartition(sorted []seq.Sequence, n, p, l int, nodeSpeed []float64) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
-	s1 = p * l
+// speed (nil reproduces the homogeneous behavior bit for bit). The
+// returned slices are partitioner scratch, valid until the next Plan.
+func (p *Partitioner) interPartition(sorted []seq.Sequence, n, pp, l int, nodeSpeed []float64) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
+	s1 = pp * l
+	p.nodeLoad = growI(p.nodeLoad, n)
+	if cap(p.nodeSeqs) < n {
+		p.nodeSeqs = make([][]seq.Sequence, n)
+	}
+	p.nodeSeqs = p.nodeSeqs[:n]
 	for iter := 0; ; iter++ {
 		if iter > len(sorted)+2 {
 			return nil, nil, 0, fmt.Errorf("inter-node partitioning did not converge")
 		}
-		nodeLoad := make([]int, n)
-		nodeSeqs = make([][]seq.Sequence, n)
-		inters = inters[:0]
+		nodeLoad := p.nodeLoad
+		for i := range nodeLoad {
+			nodeLoad[i] = 0
+		}
+		nodeSeqs = p.nodeSeqs
+		for i := range nodeSeqs {
+			nodeSeqs[i] = nodeSeqs[i][:0]
+		}
+		inters = p.inters[:0]
 
-		var z01, z2 []seq.Sequence
+		z01, z2 := p.z01[:0], p.z2[:0]
 		for _, s := range sorted {
 			if s.Len >= s1 {
 				z2 = append(z2, s)
@@ -171,6 +254,7 @@ func interPartition(sorted []seq.Sequence, n, p, l int, nodeSpeed []float64) (no
 				z01 = append(z01, s)
 			}
 		}
+		p.z01, p.z2 = z01, z2
 		if len(z2) > 0 {
 			sAvg := float64(seq.TotalLen(z2)) / float64(n)
 			for _, s := range z2 {
@@ -181,8 +265,10 @@ func interPartition(sorted []seq.Sequence, n, p, l int, nodeSpeed []float64) (no
 				if k > n {
 					k = n
 				}
-				nodes := leastLoaded(nodeLoad, k, nodeSpeed)
-				share := seq.SplitEven(s.Len, k)
+				// leastLoaded returns scratch; copy because the placement
+				// outlives this call's next selection.
+				nodes := append([]int(nil), p.leastLoaded(nodeLoad, k, nodeSpeed)...)
+				share := seq.SplitEvenInto(p.share, s.Len, k)
 				if nodeSpeed != nil {
 					// The emitted ring carries speed-proportional rank
 					// weights, so each node's real token share is its speed
@@ -191,18 +277,20 @@ func interPartition(sorted []seq.Sequence, n, p, l int, nodeSpeed []float64) (no
 					for i, nd := range nodes {
 						w[i] = nodeSpeed[nd]
 					}
-					share = seq.SplitWeighted(s.Len, w)
+					share = seq.SplitWeightedInto(p.share, s.Len, w)
 				}
+				p.share = share
 				for i, nd := range nodes {
 					nodeLoad[nd] += share[i]
 				}
 				inters = append(inters, interPlacement{s: s, nodes: nodes})
 			}
 		}
+		p.inters = inters
 		retry := false
 		for _, s := range z01 {
 			idx := argminLoad(nodeLoad, nodeSpeed)
-			if s.Len+nodeLoad[idx] > p*l {
+			if s.Len+nodeLoad[idx] > pp*l {
 				// z01 is sorted descending, so its first element is the
 				// maximum; lowering s1 to it promotes it to z2.
 				s1 = z01[0].Len
@@ -229,21 +317,31 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 	ranks := c.RanksOfNode(node)
 	var devSpeed []float64
 	if p.cfg.Speeds != nil {
-		devSpeed = make([]float64, P)
+		p.devSpeed = growF(p.devSpeed, P)
+		devSpeed = p.devSpeed
 		for d, r := range ranks {
 			devSpeed[d] = p.cfg.Speeds[r]
 		}
 	}
+	p.devLoad = growI(p.devLoad, P)
+	if cap(p.local) < P {
+		p.local = make([][]seq.Sequence, P)
+	}
+	p.local = p.local[:P]
 	s0 := L
 	for iter := 0; ; iter++ {
 		if iter > len(assigned)+2 {
 			return 0, fmt.Errorf("intra-node partitioning did not converge")
 		}
-		devLoad := append([]int(nil), interShare...)
-		local := make([][]seq.Sequence, P)
-		var rings []seq.Ring
+		devLoad := p.devLoad
+		copy(devLoad, interShare)
+		local := p.local
+		for i := range local {
+			local[i] = local[i][:0]
+		}
+		rings := p.rings[:0]
 
-		var z0, z1 []seq.Sequence
+		z0, z1 := p.z0[:0], p.z1[:0]
 		for _, s := range assigned { // assigned preserves descending order
 			if s.Len >= s0 {
 				z1 = append(z1, s)
@@ -251,6 +349,7 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				z0 = append(z0, s)
 			}
 		}
+		p.z0, p.z1 = z0, z1
 		if len(z1) > 0 {
 			var cAvg float64
 			for _, s := range z1 {
@@ -281,7 +380,8 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				}
 				devs := make([]int, k)
 				if devSpeed == nil {
-					share := seq.SplitEven(s.Len, k)
+					share := seq.SplitEvenInto(p.share, s.Len, k)
+					p.share = share
 					for i := 0; i < k; i++ {
 						d := (rr + i) % P
 						devs[i] = ranks[d]
@@ -296,18 +396,19 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				// least-time-loaded devices and weight their query-chunk
 				// shares by speed — stragglers hold smaller chunks and the
 				// rounds stay time-balanced.
-				chosen := leastLoaded(devLoad, k, devSpeed)
+				chosen := p.leastLoaded(devLoad, k, devSpeed)
 				for i, d := range chosen {
 					devs[i] = ranks[d]
 				}
 				ring := seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs, Weights: p.ringWeights(devs)}
-				share := ring.TokensPerRank()
+				p.share = ring.TokensPerRankInto(p.share)
 				for i, d := range chosen {
-					devLoad[d] += share[i]
+					devLoad[d] += p.share[i]
 				}
 				rings = append(rings, ring)
 			}
 		}
+		p.rings = rings
 		retry := false
 		for _, s := range z0 {
 			idx := argminLoad(devLoad, devSpeed)
@@ -344,27 +445,49 @@ func (p *Partitioner) ringWeights(ranks []int) []float64 {
 
 // leastLoaded returns the indices of the k smallest loads, ties broken by
 // index, in increasing-load order. A non-nil speed vector compares
-// effective time loads (load/speed) instead of raw token loads.
-func leastLoaded(load []int, k int, speed []float64) []int {
-	idx := make([]int, len(load))
+// effective time loads (load/speed) instead of raw token loads. The
+// result is partitioner scratch, valid until the next call.
+func (p *Partitioner) leastLoaded(load []int, k int, speed []float64) []int {
+	n := len(load)
+	p.pick = growI(p.pick, n)
+	idx := p.pick
+	if k == 1 {
+		// Early exit: the common single-fragment case needs only argmin,
+		// not a k-selection pass.
+		idx[0] = argminLoad(load, speed)
+		return idx[:1]
+	}
 	for i := range idx {
 		idx[i] = i
 	}
-	less := func(a, b int) bool { return load[a] < load[b] }
-	if speed != nil {
-		less = func(a, b int) bool {
-			la, lb := float64(load[a])/speed[a], float64(load[b])/speed[b]
-			if la != lb {
-				return la < lb
+	if speed == nil {
+		// Selection sort of the first k: loads are tiny (#nodes or #devices).
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < n; j++ {
+				if load[idx[j]] < load[idx[best]] {
+					best = j
+				}
 			}
-			return a < b
+			idx[i], idx[best] = idx[best], idx[i]
 		}
+		return idx[:k]
 	}
-	// Selection sort of the first k: loads are tiny (#nodes or #devices).
+	// Speed-aware: precompute effective time loads once instead of
+	// dividing inside the O(k·n) comparison loop. The explicit index
+	// tie-break matters here: selection swaps perturb idx order, so
+	// strict-smaller alone would resolve equal effective loads by
+	// position, not by rank index.
+	p.eff = growF(p.eff, n)
+	eff := p.eff
+	for i := 0; i < n; i++ {
+		eff[i] = float64(load[i]) / speed[i]
+	}
 	for i := 0; i < k; i++ {
 		best := i
-		for j := i + 1; j < len(idx); j++ {
-			if less(idx[j], idx[best]) {
+		for j := i + 1; j < n; j++ {
+			ej, eb := eff[idx[j]], eff[idx[best]]
+			if ej < eb || (ej == eb && idx[j] < idx[best]) {
 				best = j
 			}
 		}
@@ -392,4 +515,20 @@ func argminLoad(v []int, speed []float64) int {
 		}
 	}
 	return best
+}
+
+// growI returns s resized to n, reusing capacity (contents unspecified).
+func growI(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// growF is growI for float64 scratch.
+func growF(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }

@@ -147,18 +147,20 @@ func SolveTarget(tokens, target []int, c *cluster.Cluster, bIntra, bInter float6
 	// Phase 1: intra-node matching. Within each node, greedily match
 	// surplus ranks to deficit ranks; every intra token saves its sender
 	// (bInter − bIntra) relative to shipping it out, so maximal intra
-	// matching is optimal for any bottleneck objective.
+	// matching is optimal for any bottleneck objective. Ranks of node n
+	// are the contiguous block [n·P, (n+1)·P), addressed directly to keep
+	// RanksOfNode's allocation off the per-iteration path.
+	P := c.GPUsPerNode
 	for n := 0; n < c.Nodes; n++ {
-		ranks := c.RanksOfNode(n)
-		si, di := 0, 0
-		for si < len(ranks) && di < len(ranks) {
-			s, d := ranks[si], ranks[di]
+		lo, hi := n*P, (n+1)*P
+		s, d := lo, lo
+		for s < hi && d < hi {
 			if surplus[s] == 0 {
-				si++
+				s++
 				continue
 			}
 			if deficit[d] == 0 {
-				di++
+				d++
 				continue
 			}
 			m := min(surplus[s], deficit[d])
@@ -181,28 +183,29 @@ func SolveTarget(tokens, target []int, c *cluster.Cluster, bIntra, bInter float6
 	}
 	// Rebuild transfers from the adjusted splits: phase 1 transfers are
 	// regenerated (the matching pairs within a node are cost-identical).
+	// recvLeft is a flat per-rank vector rather than a per-node map — the
+	// planner re-solves remapping every iteration, so this loop is on the
+	// campaign hot path and map churn shows up in allocs/op.
 	p.Transfers = p.Transfers[:0]
 	interSend := make([]int, len(tokens))
+	recvLeft := make([]int, len(tokens))
 	for n := 0; n < c.Nodes; n++ {
-		ranks := c.RanksOfNode(n)
+		lo, hi := n*P, (n+1)*P
 		// Intra matching honoring intraSent quotas.
-		recvLeft := make(map[int]int)
-		for _, r := range ranks {
+		for r := lo; r < hi; r++ {
 			if d := target[r] - tokens[r]; d > 0 {
 				recvLeft[r] = d
+			} else {
+				recvLeft[r] = 0
 			}
 		}
-		var intraCap int
-		for _, v := range recvLeft {
-			intraCap += v
-		}
-		for _, r := range ranks {
+		for r := lo; r < hi; r++ {
 			s := tokens[r] - target[r]
 			if s <= 0 {
 				continue
 			}
 			give := min(intraSent[r], s)
-			for _, d := range ranks {
+			for d := lo; d < hi; d++ {
 				if give == 0 {
 					break
 				}
@@ -284,10 +287,10 @@ func SolveTarget(tokens, target []int, c *cluster.Cluster, bIntra, bInter float6
 // its surplus ranks so that sender costs equalize (water-fill): senders
 // with larger surplus get more of the cheap intra quota. Mutates intraSent.
 func rebalanceNode(c *cluster.Cluster, node int, tokens, target, intraSent []int) {
-	ranks := c.RanksOfNode(node)
+	lo, hi := node*c.GPUsPerNode, (node+1)*c.GPUsPerNode
 	var sendersIdx []int
 	var capTotal, surplusTotal int
-	for _, r := range ranks {
+	for r := lo; r < hi; r++ {
 		if s := tokens[r] - target[r]; s > 0 {
 			sendersIdx = append(sendersIdx, r)
 			surplusTotal += s
@@ -311,10 +314,10 @@ func rebalanceNode(c *cluster.Cluster, node int, tokens, target, intraSent []int
 		s[i] = tokens[r] - target[r]
 	}
 	// Binary search w over integers.
-	lo, hi := 0, 0
+	wlo, whi := 0, 0
 	for _, v := range s {
-		if v > hi {
-			hi = v
+		if v > whi {
+			whi = v
 		}
 	}
 	interAt := func(w int) int {
@@ -326,15 +329,15 @@ func rebalanceNode(c *cluster.Cluster, node int, tokens, target, intraSent []int
 		}
 		return sum
 	}
-	for lo < hi {
-		mid := (lo + hi) / 2
+	for wlo < whi {
+		mid := (wlo + whi) / 2
 		if interAt(mid) > interTotal {
-			lo = mid + 1
+			wlo = mid + 1
 		} else {
-			hi = mid
+			whi = mid
 		}
 	}
-	w := lo
+	w := wlo
 	inter := make([]int, len(s))
 	assigned := 0
 	for i, v := range s {

@@ -4,6 +4,7 @@ package seq
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"zeppelin/internal/model"
@@ -64,10 +65,17 @@ func (r Ring) G() int { return len(r.Ranks) }
 // or the weighted split when Weights are set. Remainder tokens go to the
 // earliest ranks so totals are conserved.
 func (r Ring) TokensPerRank() []int {
+	return r.TokensPerRankInto(nil)
+}
+
+// TokensPerRankInto is TokensPerRank writing into dst when it has
+// sufficient capacity, so planner hot loops can reuse one scratch buffer
+// across rings instead of allocating a share vector per call.
+func (r Ring) TokensPerRankInto(dst []int) []int {
 	if r.Weights == nil {
-		return SplitEven(r.Seq.Len, r.G())
+		return SplitEvenInto(dst, r.Seq.Len, r.G())
 	}
-	return SplitWeighted(r.Seq.Len, r.Weights)
+	return SplitWeightedInto(dst, r.Seq.Len, r.Weights)
 }
 
 // PairsPerRank returns each rank's causal-pair share. The 2G-chunk scheme
@@ -122,19 +130,33 @@ func NewPlan(world int) *Plan {
 
 // TokensPerRank returns the attention-layout token count of every rank.
 func (p *Plan) TokensPerRank() []int {
-	out := make([]int, p.World)
+	return p.TokensPerRankInto(nil, nil)
+}
+
+// TokensPerRankInto is TokensPerRank accumulating into dst (zeroed and
+// reused when it has capacity for the world) with share as ring-split
+// scratch, for allocation-free accounting in planner hot paths.
+func (p *Plan) TokensPerRankInto(dst, share []int) []int {
+	if cap(dst) >= p.World {
+		dst = dst[:p.World]
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		dst = make([]int, p.World)
+	}
 	for r, ls := range p.Local {
 		for _, s := range ls {
-			out[r] += s.Len
+			dst[r] += s.Len
 		}
 	}
 	for _, ring := range p.Rings {
-		share := ring.TokensPerRank()
+		share = ring.TokensPerRankInto(share)
 		for i, r := range ring.Ranks {
-			out[r] += share[i]
+			dst[r] += share[i]
 		}
 	}
-	return out
+	return dst
 }
 
 // PairsPerRank returns the causal-pair (quadratic attention) load of every
@@ -241,10 +263,15 @@ func (p *Plan) Validate(batch []Sequence) error {
 // SplitEven splits n into k near-equal non-negative parts that sum to n,
 // larger parts first. Panics if k <= 0.
 func SplitEven(n, k int) []int {
+	return SplitEvenInto(nil, n, k)
+}
+
+// SplitEvenInto is SplitEven writing into dst when it has capacity k.
+func SplitEvenInto(dst []int, n, k int) []int {
 	if k <= 0 {
 		panic("seq: SplitEven with k <= 0")
 	}
-	out := make([]int, k)
+	out := sized(dst, k)
 	base, rem := n/k, n%k
 	for i := range out {
 		out[i] = base
@@ -255,12 +282,28 @@ func SplitEven(n, k int) []int {
 	return out
 }
 
+// sized returns dst truncated to k when it has the capacity, or a fresh
+// slice otherwise.
+func sized(dst []int, k int) []int {
+	if cap(dst) >= k {
+		return dst[:k]
+	}
+	return make([]int, k)
+}
+
 // SplitWeighted splits n into len(weights) non-negative parts
 // proportional to the weights (largest-remainder rounding, remainders
 // broken by index), summing exactly to n. Non-positive weights receive
 // nothing; if no weight is positive the split falls back to even.
 // Panics on an empty weight vector.
 func SplitWeighted(n int, weights []float64) []int {
+	return SplitWeightedInto(nil, n, weights)
+}
+
+// SplitWeightedInto is SplitWeighted writing into dst when it has
+// capacity len(weights). The rounding scratch still allocates; weighted
+// splits are off the healthy-cluster hot path.
+func SplitWeightedInto(dst []int, n int, weights []float64) []int {
 	k := len(weights)
 	if k <= 0 {
 		panic("seq: SplitWeighted with no weights")
@@ -272,9 +315,12 @@ func SplitWeighted(n int, weights []float64) []int {
 		}
 	}
 	if sum <= 0 {
-		return SplitEven(n, k)
+		return SplitEvenInto(dst, n, k)
 	}
-	out := make([]int, k)
+	out := sized(dst, k)
+	for i := range out {
+		out[i] = 0
+	}
 	frac := make([]float64, k)
 	assigned := 0
 	for i, w := range weights {
@@ -298,14 +344,16 @@ func SplitWeighted(n int, weights []float64) []int {
 	return out
 }
 
-// SortByLenDesc sorts sequences longest-first (stable on ID for ties), the
-// ordering both partitioning algorithms start from.
+// SortByLenDesc sorts sequences longest-first (ties broken by ascending
+// ID — a total order, so the result is deterministic), the ordering both
+// partitioning algorithms start from. slices.SortFunc avoids the
+// closure/interface allocations of sort.Slice on the planning hot path.
 func SortByLenDesc(s []Sequence) {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].Len != s[j].Len {
-			return s[i].Len > s[j].Len
+	slices.SortFunc(s, func(a, b Sequence) int {
+		if a.Len != b.Len {
+			return b.Len - a.Len
 		}
-		return s[i].ID < s[j].ID
+		return a.ID - b.ID
 	})
 }
 
