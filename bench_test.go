@@ -8,6 +8,7 @@
 package zeppelin_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -163,7 +164,7 @@ func BenchmarkTable3CostDistribution(b *testing.B) {
 func cellBench(b *testing.B, m trainer.Method) {
 	cell := experiments.Cell{Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2, TP: 1, TokensPerGPU: 4096}
 	for i := 0; i < b.N; i++ {
-		tput, err := experiments.MeanThroughput(cell, workload.GitHub.Batch, m, 1)
+		tput, err := experiments.MeanThroughput(context.Background(), cell, workload.GitHub.Batch, m, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func runnerBench(b *testing.B, workers int) {
 		// A fresh engine each iteration: the memo cache would otherwise
 		// turn every iteration after the first into pure cache hits.
 		eng := runner.New(runner.Options{Workers: workers})
-		rs, err := eng.Run(jobs)
+		rs, err := eng.Run(context.Background(), jobs)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,12 +1,15 @@
 // Command zeppelin regenerates the paper's evaluation tables and figures
 // on the simulated cluster substrate, and runs streaming long-horizon
-// campaigns on top of the same cells.
+// campaigns on top of the same cells. It is the reference client of the
+// public pkg/zeppelin API: every subcommand drives the same versioned
+// surface the zeppelind HTTP daemon serves.
 //
 // Usage:
 //
 //	zeppelin [-seeds N] [-workers N] [-json] <experiment>
 //	zeppelin [-seeds N] [-workers N] campaign [-iters N] [-arrival P] [-drift D] [-policy P] [-json] [...]
 //	zeppelin bench [-ranks R1,R2] [-iters N] [-json]
+//	zeppelin -version
 //
 // where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
 // fig10, fig11, fig12, fig13, fig14, fig15, table3, all.
@@ -34,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,19 +45,10 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 
-	"zeppelin/internal/benchfmt"
-	"zeppelin/internal/campaign"
-	"zeppelin/internal/experiments"
-	"zeppelin/internal/faults"
-	"zeppelin/internal/partition"
-	"zeppelin/internal/runner"
-	"zeppelin/internal/trace"
-	"zeppelin/internal/workload"
-	"zeppelin/internal/zeppelin"
+	"zeppelin/pkg/zeppelin"
 )
 
 // usageError marks a flag-validation failure: main prints usage and
@@ -71,8 +66,15 @@ func main() {
 	seeds := flag.Int("seeds", 3, "independently sampled batches (or campaigns) averaged per cell; must be >= 1")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers; must be >= 1")
 	jsonOut := flag.Bool("json", false, "emit structured results as JSON instead of text")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(zeppelin.Version()) //nolint:errcheck
+		return
+	}
 	if *seeds < 1 {
 		fmt.Fprintf(os.Stderr, "zeppelin: -seeds must be >= 1, got %d\n", *seeds)
 		flag.Usage()
@@ -90,25 +92,13 @@ func main() {
 	}
 	if args[0] == "campaign" {
 		if err := campaignCmd(os.Stdout, args[1:], *seeds, *workers, *jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "zeppelin:", err)
-			var ue usageError
-			if errors.As(err, &ue) {
-				flag.Usage()
-				os.Exit(2)
-			}
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	if args[0] == "bench" {
 		if err := benchCmd(os.Stdout, args[1:], *jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "zeppelin:", err)
-			var ue usageError
-			if errors.As(err, &ue) {
-				flag.Usage()
-				os.Exit(2)
-			}
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -117,34 +107,35 @@ func main() {
 		os.Exit(2)
 	}
 	name := args[0]
-	if !knownExperiment(name) {
+	if name != "all" && !zeppelin.IsExperiment(name) {
 		fmt.Fprintf(os.Stderr, "zeppelin: unknown experiment %q\n", name)
 		flag.Usage()
 		os.Exit(2)
 	}
-	// One engine serves every figure of the invocation, so cells shared
-	// between figures (`all` has several) simulate once.
-	opts := experiments.Options{
-		Seeds:   *seeds,
-		Workers: *workers,
-		Engine:  runner.New(runner.Options{Workers: *workers}),
-	}
-	var err error
-	if *jsonOut {
-		err = dispatchJSON(os.Stdout, name, opts)
-	} else {
-		err = dispatch(os.Stdout, name, opts)
-	}
-	if err != nil {
+	opts := zeppelin.Options{Seeds: *seeds, Workers: *workers}
+	if err := experimentCmd(os.Stdout, name, opts, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "zeppelin:", err)
 		os.Exit(1)
 	}
+}
+
+// fail reports a subcommand error, exiting 2 with usage for
+// flag-validation failures and 1 otherwise.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "zeppelin:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
        zeppelin [-seeds N] [-workers N] campaign [flags]
        zeppelin bench [-ranks R1,R2] [-iters N] [-json]
+       zeppelin -version
 
 experiments: %s
 campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
@@ -154,122 +145,30 @@ campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -incremental (Zeppelin plans through the incremental planner)  -json
 bench flags:    -ranks 64,256 (world sizes, multiples of 8)  -iters N
                 -json (benchfmt artifact, the BENCH_*.json schema)
-`, strings.Join(append(append([]string{}, experimentOrder...), "all"), " "))
+`, strings.Join(append(zeppelin.Experiments(), "all"), " "))
 	flag.PrintDefaults()
 }
 
-// experimentOrder is the `all` sequence, in paper order; fig13 (the
-// streaming campaign), fig14 (fault-and-elasticity campaigns), and fig15
-// (the planner fast-path scaling sweep) extend the evaluation past the
-// paper.
-var experimentOrder = []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table3"}
-
-func knownExperiment(name string) bool {
-	if name == "all" {
-		return true
-	}
-	for _, k := range experimentOrder {
-		if k == name {
-			return true
+// experimentCmd renders or JSON-emits one experiment (or `all`, which
+// shares one simulation engine across every figure so common cells
+// simulate once).
+func experimentCmd(w io.Writer, name string, opts zeppelin.Options, jsonOut bool) error {
+	ctx := context.Background()
+	if !jsonOut {
+		if name == "all" {
+			return zeppelin.RenderAllExperiments(ctx, w, opts)
 		}
+		return zeppelin.RenderExperiment(ctx, w, name, opts)
 	}
-	return false
-}
-
-func dispatch(w io.Writer, name string, opts experiments.Options) error {
-	runs := map[string]func(io.Writer, experiments.Options) error{
-		"fig1":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig1(w); return nil },
-		"table2": func(w io.Writer, _ experiments.Options) error { experiments.WriteTable2(w); return nil },
-		"fig3":   func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig3(w, opts) },
-		"fig5":   func(w io.Writer, _ experiments.Options) error { experiments.WriteFig5(w); return nil },
-		"fig8":   experiments.WriteFig8,
-		"fig9":   experiments.WriteFig9,
-		"fig10":  experiments.WriteFig10,
-		"fig11":  experiments.WriteFig11,
-		"fig12":  func(w io.Writer, opts experiments.Options) error { return experiments.WriteFig12(w, opts) },
-		"fig13":  experiments.WriteFig13,
-		"fig14":  experiments.WriteFig14,
-		"fig15":  experiments.WriteFig15,
-		"table3": func(w io.Writer, opts experiments.Options) error { return writeTable3(w, opts) },
-	}
-	if name == "all" {
-		for _, key := range experimentOrder {
-			fmt.Fprintf(w, "\n================ %s ================\n", key)
-			if err := runs[key](w, opts); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	run, ok := runs[name]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", name)
-	}
-	return run(w, opts)
-}
-
-// writeTable3 is WriteTable3 with the invocation's engine plumbed in.
-func writeTable3(w io.Writer, opts experiments.Options) error {
-	cols, err := experiments.Table3Opts(opts)
-	if err != nil {
-		return err
-	}
-	return experiments.RenderTable3(w, cols)
-}
-
-// result computes one experiment's structured result for JSON emission.
-func result(name string, opts experiments.Options) (any, error) {
-	switch name {
-	case "fig1":
-		return experiments.Fig1(), nil
-	case "table2":
-		return workload.Eval, nil
-	case "fig3":
-		return experiments.Fig3All(opts)
-	case "fig5":
-		return experiments.Fig5(), nil
-	case "fig8":
-		return experiments.Fig8(opts)
-	case "fig9":
-		return experiments.Fig9(opts)
-	case "fig10":
-		return experiments.Fig10(opts)
-	case "fig11":
-		return experiments.Fig11(opts)
-	case "fig12":
-		return experiments.Fig12Traces(opts)
-	case "fig13":
-		return experiments.Fig13(opts)
-	case "fig14":
-		return experiments.Fig14(opts)
-	case "fig15":
-		return experiments.Fig15(opts)
-	case "table3":
-		return experiments.Table3Opts(opts)
-	}
-	return nil, fmt.Errorf("unknown experiment %q", name)
-}
-
-func dispatchJSON(w io.Writer, name string, opts experiments.Options) error {
 	var payload any
 	if name == "all" {
-		// An ordered array, not a map: encoding/json sorts map keys, which
-		// would emit fig10 before fig3 and defeat the paper ordering.
-		type namedResult struct {
-			Name   string `json:"name"`
-			Result any    `json:"result"`
-		}
-		all := make([]namedResult, 0, len(experimentOrder))
-		for _, key := range experimentOrder {
-			r, err := result(key, opts)
-			if err != nil {
-				return err
-			}
-			all = append(all, namedResult{Name: key, Result: r})
+		all, err := zeppelin.RunAllExperiments(ctx, opts)
+		if err != nil {
+			return err
 		}
 		payload = all
 	} else {
-		r, err := result(name, opts)
+		r, err := zeppelin.RunExperiment(ctx, name, opts)
 		if err != nil {
 			return err
 		}
@@ -284,17 +183,13 @@ func dispatchJSON(w io.Writer, name string, opts experiments.Options) error {
 // bench subcommand
 // ---------------------------------------------------------------------
 
-// benchCmd measures the planner fast path in-process and emits results in
-// the shared benchfmt schema — the same JSON shape cmd/benchgate distills
-// from `go test -bench` output in CI, so one set of tooling reads both.
-// (The entries differ by design: bench names carry a /ranks=N suffix and
-// report per-cell p50s, while the CI artifact aggregates go-test
-// samples.) Text mode prints go-test-style benchmark lines, which
-// benchgate can also parse.
+// benchCmd measures the planner fast path through the public API and
+// emits results in the shared benchfmt schema. Text mode prints
+// go-test-style benchmark lines, which benchgate can also parse.
 func benchCmd(w io.Writer, args []string, jsonOut bool) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	ranksFlag := fs.String("ranks", "64,256", "comma-separated world sizes (ranks, multiples of 8)")
-	iters := fs.Int("iters", experiments.Fig15Iters, "planning stream length per cell; must be >= 2")
+	iters := fs.Int("iters", 0, "planning stream length per cell; must be >= 2 (0 selects the fig15 default)")
 	subJSON := fs.Bool("json", false, "emit the benchfmt artifact as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -302,7 +197,7 @@ func benchCmd(w io.Writer, args []string, jsonOut bool) error {
 	if fs.NArg() != 0 {
 		return usageErrorf("bench: unexpected arguments %q", fs.Args())
 	}
-	if *iters < 2 {
+	if *iters != 0 && *iters < 2 {
 		return usageErrorf("bench: -iters must be >= 2, got %d", *iters)
 	}
 	var ranks []int
@@ -315,64 +210,24 @@ func benchCmd(w io.Writer, args []string, jsonOut bool) error {
 	}
 	jsonOut = jsonOut || *subJSON
 
-	art := &benchfmt.File{Source: "zeppelin bench", Goos: runtime.GOOS, Goarch: runtime.GOARCH}
-	for _, r := range ranks {
-		cell, err := experiments.Fig15Bench(r, *iters)
-		if err != nil {
-			return usageError{err}
-		}
-		art.Results = append(art.Results,
-			benchfmt.Result{
-				Name:        fmt.Sprintf("BenchmarkFig15PlanFull/ranks=%d", r),
-				Samples:     1,
-				Iters:       *iters,
-				NsPerOp:     cell.Full.P50Micros * 1e3,
-				AllocsPerOp: cell.Full.AllocsPerPlan,
-				Metrics:     map[string]float64{"p95-micros": cell.Full.P95Micros},
-			},
-			benchfmt.Result{
-				Name:        fmt.Sprintf("BenchmarkFig15PlanIncremental/ranks=%d", r),
-				Samples:     1,
-				Iters:       *iters,
-				NsPerOp:     cell.Incremental.P50Micros * 1e3,
-				AllocsPerOp: cell.Incremental.AllocsPerPlan,
-				Metrics: map[string]float64{
-					"p95-micros":     cell.Incremental.P95Micros,
-					"speedup-p50-x":  cell.SpeedupP50,
-					"max-cost-ratio": cell.MaxCostRatio,
-					"patched-plans":  float64(cell.Modes.Patched),
-				},
-			})
+	art, err := zeppelin.RunPlannerBench(context.Background(), zeppelin.BenchOptions{Ranks: ranks, Iters: *iters})
+	if err != nil {
+		return usageError{err}
 	}
-	// Name-sorted like benchfmt.Parse's output, so this artifact diffs
-	// directly against the CI-produced one.
-	sort.Slice(art.Results, func(i, j int) bool { return art.Results[i].Name < art.Results[j].Name })
 	if jsonOut {
 		return art.WriteJSON(w)
 	}
-	for _, r := range art.Results {
-		fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%10.0f allocs/op\n", r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp)
-	}
-	return nil
+	return art.WriteText(w)
 }
 
 // ---------------------------------------------------------------------
 // campaign subcommand
 // ---------------------------------------------------------------------
 
-// campaignArtifact is the JSON shape of one campaign invocation: the
-// seed-averaged rows plus every method's full seed-0 report (records
-// carry the per-iteration stream the summaries' percentiles come from).
-type campaignArtifact struct {
-	Iters   int                   `json:"iters"`
-	Arrival string                `json:"arrival"`
-	Policy  string                `json:"policy"`
-	Faults  string                `json:"faults,omitempty"`
-	Seeds   int                   `json:"seeds"`
-	Rows    []campaign.RowSummary `json:"rows"`
-	Reports []*campaign.Report    `json:"reports"`
-}
-
+// campaignCmd runs the streaming campaign comparison through the public
+// API: the paper's four methods over one arrival/policy/faults cell,
+// seed-averaged, rendered as the row table plus Zeppelin's seed-0
+// timeline (or the JSON campaign artifact).
 func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	iters := fs.Int("iters", 50, "campaign iterations; must be >= 1")
@@ -380,9 +235,9 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	datasetName := fs.String("dataset", "arxiv", "base dataset for steady/poisson/bursty/replay arrivals")
 	driftPath := fs.String("drift", "arxiv,github,prolong64k", "comma-separated dataset waypoints for -arrival drift")
 	policyName := fs.String("policy", "threshold", "replan policy: always|never|threshold|periodic")
-	threshold := fs.Float64("threshold", campaign.DefaultThreshold, "imbalance ratio for -policy threshold")
+	threshold := fs.Float64("threshold", zeppelin.DefaultThreshold, "imbalance ratio for -policy threshold")
 	every := fs.Int("every", 10, "replan cadence for -policy periodic")
-	replanCost := fs.Float64("replan-cost", campaign.DefaultReplanCost,
+	replanCost := fs.Float64("replan-cost", zeppelin.DefaultReplanCostSec,
 		"seconds charged per replan; must be >= 0 (0 selects the default)")
 	faultsSpec := fs.String("faults", "none",
 		"fault scenario: none|straggler|nic|failstop|shrink, optionally parameterized as name:key=val,...")
@@ -403,97 +258,35 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	}
 	jsonOut = jsonOut || *subJSON
 
-	// Resolve only the inputs the selected arrival uses: -dataset for the
-	// single-distribution processes, -drift for the drifting mixture.
-	var base workload.Dataset
-	var path []workload.Dataset
+	req := zeppelin.CampaignRequest{
+		Workload: zeppelin.WorkloadSpec{
+			Dataset: *datasetName,
+			Arrival: *arrivalName,
+		},
+		Policy: zeppelin.PolicySpec{
+			Name:      *policyName,
+			Threshold: *threshold,
+			Every:     *every,
+		},
+		Faults:        *faultsSpec,
+		Iters:         *iters,
+		ReplanCostSec: *replanCost,
+		Incremental:   *incremental,
+	}
 	if *arrivalName == "drift" {
-		for _, name := range strings.Split(*driftPath, ",") {
-			d, err := workload.ByName(strings.TrimSpace(name))
-			if err != nil {
-				return usageError{err}
-			}
-			path = append(path, d)
-		}
-	} else {
-		var err error
-		if base, err = workload.ByName(*datasetName); err != nil {
-			return usageError{err}
-		}
+		req.Workload.DriftPath = strings.Split(*driftPath, ",")
 	}
-	cell := experiments.CampaignCell(0)
-	arrival, err := campaign.ArrivalByName(*arrivalName, base, path, *iters, cell.TotalTokens())
-	if err != nil {
+	// Resolution failures — unknown datasets, arrivals, policies, fault
+	// scenarios, out-of-range parameters — are flag mistakes: usage.
+	if err := req.Validate(); err != nil {
 		return usageError{err}
 	}
-	policy, err := campaign.PolicyByName(*policyName, *threshold, *every)
-	if err != nil {
-		return usageError{err}
-	}
-	espec := cell.EffectiveSpec()
-	schedule, err := faults.ByName(*faultsSpec, *iters, cell.Nodes, espec.GPUsPerNode)
-	if err != nil {
-		return usageError{err}
-	}
-	if err := schedule.Validate(cell.Nodes, espec.GPUsPerNode, espec.NICsPerNode); err != nil {
-		return usageError{err}
-	}
-
-	// Row-major (method × seed) grid through the shared grid runner,
-	// seeded exactly like fig13 so both stream identical batches.
-	methods := experiments.Methods()
-	var cfgs []campaign.Config
-	for _, m := range methods {
-		for s := 0; s < seeds; s++ {
-			cell := m
-			if *incremental {
-				if zm, ok := m.(zeppelin.Method); ok {
-					// One planner instance per grid cell: the incremental
-					// method is stateful and single-owner.
-					cell = zeppelin.NewIncremental(zm, partition.IncrementalConfig{})
-				}
-			}
-			cfgs = append(cfgs, campaign.Config{
-				Trainer:    experiments.CampaignCell(experiments.SeedValue(s)),
-				Method:     cell,
-				Iters:      *iters,
-				Arrival:    arrival,
-				Policy:     policy,
-				ReplanCost: *replanCost,
-				Faults:     schedule,
-			})
-		}
-	}
-	reports, err := campaign.RunGrid(cfgs, workers)
+	cmp, err := zeppelin.CompareCampaigns(context.Background(), req, seeds, workers)
 	if err != nil {
 		return err
 	}
-
-	art := campaignArtifact{Iters: *iters, Arrival: arrival.Name(), Policy: policy.Name(), Seeds: seeds}
-	if schedule != nil {
-		art.Faults = schedule.Name
-	}
-	for m := range methods {
-		cell := reports[m*seeds : (m+1)*seeds]
-		art.Rows = append(art.Rows, campaign.Summarize(cell))
-		art.Reports = append(art.Reports, cell[0])
-	}
-
 	if jsonOut {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(art)
+		return cmp.WriteJSON(w)
 	}
-	label := ""
-	if art.Faults != "" {
-		label = ", faults " + art.Faults
-	}
-	fmt.Fprintf(w, "streaming campaign: %d iterations, arrival %s, policy %s%s, %d seed(s)\n\n",
-		art.Iters, art.Arrival, art.Policy, label, art.Seeds)
-	campaign.WriteRowTable(w, art.Rows)
-	// Timeline of the last method's (Zeppelin's) seed-0 campaign.
-	last := art.Reports[len(art.Reports)-1]
-	fmt.Fprintf(w, "\n%s campaign (seed 0):\n", last.Summary.Method)
-	trace.CampaignTimeline(w, last.TraceRows(), 60, 25)
-	return nil
+	return cmp.WriteText(w)
 }

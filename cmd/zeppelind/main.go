@@ -1,0 +1,88 @@
+// Command zeppelind is the long-running planning service: the public
+// pkg/zeppelin API served over HTTP/JSON.
+//
+// Usage:
+//
+//	zeppelind [-addr :8080] [-workers N] [-seeds N]
+//	zeppelind -version
+//
+// Routes (all under the v1 API revision):
+//
+//	GET  /healthz                   — liveness: {"status":"ok"}
+//	GET  /v1/version                — module version, Go version, API revision
+//	POST /v1/plan                   — one-shot partition+remap plan of a
+//	                                  sampled batch (PlanRequest → PlanResponse)
+//	POST /v1/campaigns              — create a campaign session (CampaignRequest)
+//	GET  /v1/campaigns              — list sessions in creation order
+//	GET  /v1/campaigns/{id}         — session status
+//	DELETE /v1/campaigns/{id}       — drop a non-running session (finished
+//	                                  sessions beyond a cap are also evicted
+//	                                  oldest-first at creation time)
+//	GET  /v1/campaigns/{id}/events  — stream the campaign: one NDJSON
+//	                                  CampaignEvent per iteration, produced by the
+//	                                  session-owned planner; disconnecting cancels
+//	                                  the campaign between iterations
+//	GET  /v1/experiments/{name}     — any paper experiment's structured result
+//
+// -workers bounds both the number of requests simulating concurrently
+// and each request's internal worker pool; every response is
+// bit-identical at every worker count. Unknown /v1 routes and wrong
+// methods return the structured JSON error envelope
+// {"error":{"code":"...","message":"..."}}.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zeppelin/pkg/zeppelin"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation slots; must be >= 1")
+	seeds := flag.Int("seeds", 3, "batches/campaigns averaged per experiment cell; must be >= 1")
+	version := flag.Bool("version", false, "print version information and exit")
+	flag.Parse()
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(zeppelin.Version()) //nolint:errcheck
+		return
+	}
+	if *workers < 1 || *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "zeppelind: -workers and -seeds must be >= 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(*workers, *seeds),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+
+	v := zeppelin.Version()
+	log.Printf("zeppelind %s (api %s, %s) listening on %s, %d worker(s)",
+		v.Version, v.APIVersion, v.GoVersion, *addr, *workers)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

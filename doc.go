@@ -1,44 +1,79 @@
 // Package zeppelin is a from-scratch Go reproduction of "Zeppelin:
 // Balancing Variable-length Workloads in Data Parallel Large Model
 // Training" (EUROSYS 2026). The root package only anchors the module's
-// benchmark harness (bench_test.go); the implementation lives under
-// internal/:
+// benchmark harness (bench_test.go); the public API lives in
+// pkg/zeppelin and the implementation under internal/:
+//
+//   - pkg/zeppelin        — the versioned public v1 API: one-shot plan
+//     requests (Planner), iterator-style campaign streaming (Campaign,
+//     one simulated iteration per Next call), experiment regeneration
+//     by name, the planner fast-path bench, and build/version
+//     identification. Context-aware throughout (cancellation stops
+//     campaigns between iterations and grids between jobs) with the
+//     JSON wire schema pinned by golden tests. cmd/zeppelin is its
+//     reference client; cmd/zeppelind serves it over HTTP (POST
+//     /v1/plan, POST /v1/campaigns + NDJSON event streams honoring
+//     client disconnect, GET /v1/experiments/{name}, GET /v1/version,
+//     GET /healthz).
 //
 //   - internal/sim        — deterministic discrete-event simulator
+//
 //   - internal/cluster    — GPU cluster topologies (Clusters A, B, C)
+//
 //   - internal/model      — transformer configurations (3B…30B, 8×550M MoE)
+//
 //   - internal/costmodel  — kernel and transfer time models, zone analysis
+//
 //   - internal/workload   — Table 2 / Fig. 1 length distributions
+//
 //   - internal/seq        — sequences, rings, placement plans
+//
 //   - internal/flow       — max-flow / min-cost-flow solvers
+//
 //   - internal/partition  — hierarchical sequence partitioner (Alg. 1 + 2)
 //     plus the incremental re-planner: a keyed plan cache with exact
 //     reuse and, under a configured tolerance, delta patching of the
 //     previous plan (departures cut, arrivals greedily re-placed) with
 //     imbalance-drift self-regulation and full-solve fallback on any
 //     health or capacity change
+//
 //   - internal/attention  — three-queue ring attention engine
+//
 //   - internal/routing    — three-step multi-NIC communication routing
+//
 //   - internal/remap      — Eq. 2 remapping layer
+//
 //   - internal/baselines  — TE CP, LLaMA CP, Hybrid DP
+//
 //   - internal/zeppelin   — the assembled system (trainer.Method); its
 //     Incremental front-end plans through the incremental re-planner and
 //     a keyed cache of Eq. 2 remapping solutions (exact mode is
 //     bit-identical to the stateless method, the property campaigns rely
 //     on)
+//
 //   - internal/trainer    — end-to-end iteration simulation
-//   - internal/runner     — concurrent, memoizing experiment engine
+//
+//   - internal/runner     — concurrent, memoizing experiment engine;
+//     grids and fan-outs honor context cancellation without leaking
+//     pool workers
+//
 //   - internal/campaign   — streaming multi-iteration campaigns: arrival
-//     processes, online re-planning policies, per-iteration metrics
+//     processes, online re-planning policies, per-iteration metrics,
+//     consumed either all at once (Run) or record by record through the
+//     iterator-style Stream that pkg/zeppelin and zeppelind expose
+//
 //   - internal/faults     — deterministic fault-and-elasticity schedules:
 //     stragglers, NIC degradation, fail-stop node loss with
 //     checkpoint-restart, planned elastic shrink/grow with Eq. 2 state
 //     migration
+//
 //   - internal/experiments— regenerators for every paper table and figure,
 //     plus the fig13 streaming-campaign and fig14 fault comparisons and
 //     the fig15 planner fast-path scaling sweep (64 → 1024 ranks, plan
 //     latency and allocations, full vs incremental)
+//
 //   - internal/trace      — Fig. 12-style timeline and campaign rendering
+//
 //   - internal/benchfmt   — benchmark-artifact JSON schema shared by the
 //     CI bench-regression gate (cmd/benchgate) and `zeppelin bench`
 //

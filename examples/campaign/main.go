@@ -1,54 +1,62 @@
 // Campaign quickstart: stream 40 iterations of a drifting workload
 // (ArXiv gradually becoming GitHub) through Zeppelin with threshold
-// replanning, then print the online metrics and the iteration timeline —
-// the minimal use of the internal/campaign streaming layer.
+// replanning, consuming the events one by one as they are produced —
+// the iterator-style public API the zeppelind daemon serves as NDJSON.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
-	"zeppelin/internal/campaign"
-	"zeppelin/internal/cluster"
-	"zeppelin/internal/model"
-	"zeppelin/internal/trace"
-	"zeppelin/internal/trainer"
-	"zeppelin/internal/workload"
-	"zeppelin/internal/zeppelin"
+	"zeppelin/pkg/zeppelin"
 )
 
 func main() {
-	const iters = 40
-	rep, err := campaign.Run(campaign.Config{
+	camp, err := zeppelin.StartCampaign(context.Background(), zeppelin.CampaignRequest{
 		// The per-iteration cell: LLaMA 7B on two Cluster A nodes.
-		Trainer: trainer.Config{
-			Model: model.LLaMA7B, Spec: cluster.ClusterA, Nodes: 2, Seed: 42,
-		},
-		Method: zeppelin.Full(),
-		Iters:  iters,
+		Model:   "7B",
+		Cluster: zeppelin.ClusterSpec{Preset: "A", Nodes: 2},
+		Seed:    42,
 		// The workload drifts from ArXiv's distribution to GitHub's
 		// long-tailed one over the campaign horizon.
-		Arrival: campaign.Drift{
-			Path:  []workload.Dataset{workload.ArXiv, workload.GitHub},
-			Iters: iters,
+		Workload: zeppelin.WorkloadSpec{
+			Arrival:   "drift",
+			DriftPath: []string{"arxiv", "github"},
 		},
 		// Re-run the partitioner only when reusing the stale plan would
 		// push the projected imbalance above 30% over the mean.
-		Policy: campaign.Threshold{Ratio: 1.3},
+		Policy: zeppelin.PolicySpec{Name: "threshold", Threshold: 1.3},
+		Iters:  40,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	s := rep.Summary
-	fmt.Printf("campaign: %s over %s, policy %s\n", s.Method, s.Arrival, s.Policy)
-	fmt.Printf("  throughput      %10.0f tokens/s over %d iterations\n", s.TokensPerSec, s.Iters)
-	fmt.Printf("  iteration time  p50 %.3f s, p95 %.3f s, p99 %.3f s\n", s.P50IterTime, s.P95IterTime, s.P99IterTime)
-	fmt.Printf("  replans         %d (mean imbalance %.3f, mean utilization %.3f)\n\n",
-		s.Replans, s.MeanImbalance, s.MeanUtilization)
-	trace.CampaignTimeline(os.Stdout, rep.TraceRows(), 60, 20)
+	// Consume the stream: one event per simulated iteration, available
+	// as soon as the iteration finishes.
+	fmt.Println("iter  tokens  seqs  replan   time(ms)    tok/s     imb")
+	for {
+		ev, ok := camp.Next()
+		if !ok {
+			break
+		}
+		mark := " "
+		if ev.Replanned {
+			mark = "R"
+		}
+		fmt.Printf("%4d  %6d  %4d     %s   %8.1f  %7.0f   %5.3f\n",
+			ev.Iter, ev.Tokens, ev.Seqs, mark, ev.Time*1e3, ev.TokensPerSec, ev.Imbalance)
+	}
+	if err := camp.Err(); err != nil {
+		log.Fatal(err)
+	}
 
-	// The full per-iteration stream exports as a JSON artifact:
-	//   _ = rep.WriteJSON(os.Stdout)
+	s := camp.Report().Summary
+	fmt.Printf("\n%s over %s, policy %s:\n", s.Method, s.Arrival, s.Policy)
+	fmt.Printf("  campaign throughput  %10.0f tokens/s\n", s.TokensPerSec)
+	fmt.Printf("  replans              %10d of %d iterations\n", s.Replans, s.Iters)
+	fmt.Printf("  iteration time       p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
+		s.P50IterTime, s.P95IterTime, s.P99IterTime)
+	fmt.Printf("  mean utilization     %10.1f%%\n", 100*s.MeanUtilization)
 }

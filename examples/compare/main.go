@@ -1,17 +1,16 @@
-// Compare: run all four scheduling systems (TE CP, LLaMA CP, Hybrid DP,
-// Zeppelin) on the same batches and print a Fig.8-style throughput table
-// with speedups over the TE CP baseline.
+// Compare: run all five scheduling systems (Packing+Ulysses, TE CP,
+// LLaMA CP, Hybrid DP, Zeppelin) on the same batches through the public
+// API and print a Fig.8-style throughput table with speedups over the
+// first method.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"zeppelin/internal/cluster"
-	"zeppelin/internal/experiments"
-	"zeppelin/internal/model"
-	"zeppelin/internal/workload"
+	"zeppelin/pkg/zeppelin"
 )
 
 func main() {
@@ -21,34 +20,27 @@ func main() {
 	seeds := flag.Int("seeds", 3, "batches averaged per cell")
 	flag.Parse()
 
-	mc, err := model.ByName(*modelName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	spec, err := cluster.ByName(*clusterName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cell := experiments.Cell{Model: mc, Spec: spec, Nodes: *nodes, TP: 1, TokensPerGPU: 4096}
-
-	fmt.Printf("%s on cluster %s, %d GPUs, %dk total context, mean over %d batches\n\n",
-		mc.Name, spec.Name, *nodes*spec.GPUsPerNode, *nodes*spec.GPUsPerNode*4096/1024, *seeds)
-	for _, d := range workload.Eval {
-		fmt.Printf("%s:\n", d.Name)
+	cluster := zeppelin.ClusterSpec{Preset: *clusterName, Nodes: *nodes}
+	fmt.Printf("%s on cluster %s, %d nodes, mean over %d batches\n\n",
+		*modelName, *clusterName, *nodes, *seeds)
+	for _, dataset := range []string{"arxiv", "github", "prolong64k"} {
+		fmt.Printf("%s:\n", dataset)
 		var base float64
-		for _, m := range experiments.AllMethods() {
-			tput, err := experiments.MeanThroughput(cell, d.Batch, m, *seeds)
+		for _, m := range zeppelin.AllMethods() {
+			tput, err := zeppelin.MeanThroughput(context.Background(), zeppelin.ThroughputRequest{
+				Model:   *modelName,
+				Cluster: cluster,
+				Dataset: dataset,
+				Method:  m.ID,
+				Seeds:   *seeds,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if m.Name() == "TE CP" {
+			if base == 0 {
 				base = tput
 			}
-			norm := ""
-			if base > 0 {
-				norm = fmt.Sprintf("%5.2fx vs TE CP", tput/base)
-			}
-			fmt.Printf("  %-16s %10.0f tok/s  %s\n", m.Name(), tput, norm)
+			fmt.Printf("  %-28s %10.0f tok/s  %5.2fx\n", m.Display, tput, tput/base)
 		}
 		fmt.Println()
 	}

@@ -5,32 +5,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"zeppelin/internal/cluster"
-	"zeppelin/internal/experiments"
-	"zeppelin/internal/model"
-	"zeppelin/internal/workload"
+	"zeppelin/pkg/zeppelin"
 )
 
 func main() {
 	const seeds = 3
-	for _, mc := range []model.Config{model.LLaMA7B, model.MoE8x550M} {
-		cell := experiments.Cell{Model: mc, Spec: cluster.ClusterA, Nodes: 2, TP: 1, TokensPerGPU: 4096}
-		fmt.Printf("%s (64k context, 16 GPUs, Cluster A):\n", mc.Name)
-		for _, d := range workload.Eval {
+	for _, modelName := range []string{"7B", "8x550M"} {
+		fmt.Printf("%s (64k context, 16 GPUs, Cluster A):\n", modelName)
+		for _, dataset := range []string{"arxiv", "github", "prolong64k"} {
 			var base float64
-			fmt.Printf("  %s:\n", d.Name)
-			for _, m := range experiments.Methods() {
-				tput, err := experiments.MeanThroughput(cell, d.Batch, m, seeds)
+			fmt.Printf("  %s:\n", dataset)
+			for _, m := range zeppelin.Methods() {
+				tput, err := zeppelin.MeanThroughput(context.Background(), zeppelin.ThroughputRequest{
+					Model:   modelName,
+					Dataset: dataset,
+					Method:  m.ID,
+					Seeds:   seeds,
+				})
 				if err != nil {
 					log.Fatal(err)
 				}
 				if base == 0 {
 					base = tput
 				}
-				fmt.Printf("    %-12s %10.0f tok/s  %5.2fx\n", m.Name(), tput, tput/base)
+				fmt.Printf("    %-12s %10.0f tok/s  %5.2fx\n", m.Display, tput, tput/base)
 			}
 		}
 		fmt.Println()

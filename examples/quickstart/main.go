@@ -1,46 +1,47 @@
-// Quickstart: sample a variable-length batch, partition it with Zeppelin,
-// simulate one training iteration, and print the throughput — the minimal
-// end-to-end use of the library's public surface.
+// Quickstart: plan one variable-length batch through the public
+// pkg/zeppelin API and print the placement and the simulated iteration
+// readout — the minimal end-to-end use of the v1 surface (the same
+// request/response pair `curl -X POST /v1/plan` exchanges with the
+// zeppelind daemon).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"zeppelin/internal/cluster"
-	"zeppelin/internal/model"
-	"zeppelin/internal/trainer"
-	"zeppelin/internal/workload"
-	"zeppelin/internal/zeppelin"
+	"zeppelin/pkg/zeppelin"
 )
 
 func main() {
 	// Two Cluster A nodes (16×A800), LLaMA 7B, 4k tokens per GPU: the
-	// smallest configuration in the paper's Fig. 8.
-	cfg := trainer.Config{
-		Model: model.LLaMA7B,
-		Spec:  cluster.ClusterA,
-		Nodes: 2,
-		Seed:  42,
+	// smallest configuration in the paper's Fig. 8. Every zero field
+	// selects exactly these defaults; they are spelled out for clarity.
+	req := zeppelin.PlanRequest{
+		Model:   "7B",
+		Cluster: zeppelin.ClusterSpec{Preset: "A", Nodes: 2},
+		Dataset: "arxiv",
+		Method:  "zeppelin",
+		Seed:    42,
 	}
-
-	// Sample a 64k-token batch with ArXiv's length distribution.
-	batch := cfg.Batch(workload.ArXiv.Batch)
-	fmt.Printf("batch of %d sequences, %d tokens total:\n", len(batch), cfg.TotalTokens())
-	for _, s := range batch {
-		fmt.Printf("  seq %d: %d tokens\n", s.ID, s.Len)
-	}
-
-	// Run one simulated iteration with the full Zeppelin system.
-	res, err := trainer.Run(cfg, zeppelin.Full(), batch)
+	resp, err := zeppelin.Plan(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nZeppelin on %d GPUs:\n", cfg.GPUs())
-	fmt.Printf("  throughput        %10.0f tokens/s\n", res.TokensPerSec)
-	fmt.Printf("  iteration time    %10.1f ms\n", res.IterTime*1e3)
-	fmt.Printf("  per-layer fwd attn %9.3f ms, bwd attn %.3f ms\n", res.AttnFwd*1e3, res.AttnBwd*1e3)
-	fmt.Printf("  per-layer linear   %9.3f ms fwd, %.3f ms bwd\n", res.LinearFwd*1e3, res.LinearBwd*1e3)
-	fmt.Printf("  remapping          %9.3f ms per layer\n", res.RemapTime*1e3)
-	fmt.Printf("  host partitioning  %9.3f ms per iteration\n", res.HostOverhead*1e3)
+
+	fmt.Printf("planned a %d-sequence, %d-token batch on %d ranks:\n",
+		resp.Seqs, resp.Tokens, resp.World)
+	for rank, tok := range resp.TokensPerRank {
+		fmt.Printf("  rank %2d: %6d tokens\n", rank, tok)
+	}
+	fmt.Printf("\n%s placement:\n", resp.Method)
+	fmt.Printf("  local sequences   %10d\n", resp.LocalSeqs)
+	fmt.Printf("  ring sequences    %10d\n", resp.RingSeqs)
+	fmt.Printf("  imbalance         %10.3f (max/mean tokens per rank)\n", resp.Imbalance)
+	fmt.Printf("  remap transfers   %10d (%d cross-node tokens)\n",
+		resp.RemapTransfers, resp.RemapInterTokens)
+	fmt.Printf("\nsimulated iteration:\n")
+	fmt.Printf("  throughput        %10.0f tokens/s\n", resp.TokensPerSec)
+	fmt.Printf("  iteration time    %10.2f ms\n", resp.IterTimeSec*1e3)
+	fmt.Printf("  host overhead     %10.2f ms\n", resp.HostOverheadSec*1e3)
 }

@@ -1,29 +1,20 @@
-// Timeline: trace one attention layer for TE CP and for Zeppelin on the
-// same single 64k sequence and render both schedules side by side — the
-// Fig. 12 comparison showing how routing decomposes the cross-node
-// bottleneck and how the hierarchical partition removes it entirely for
-// multi-sequence batches.
+// Timeline: render the paper's Fig. 12 attention-schedule traces — TE CP
+// and Zeppelin on the same batches, showing how routing decomposes the
+// cross-node bottleneck and how the hierarchical partition removes it
+// entirely for multi-sequence batches — through the public experiment
+// surface (the same artifact GET /v1/experiments/fig12 serves as JSON).
 package main
 
 import (
-	"fmt"
+	"context"
 	"log"
 	"os"
 
-	"zeppelin/internal/experiments"
-	"zeppelin/internal/trace"
+	"zeppelin/pkg/zeppelin"
 )
 
 func main() {
-	for _, sc := range experiments.Fig12Scenarios() {
-		events, err := experiments.Fig12Trace(sc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s\n", sc.Title)
-		trace.Timeline(os.Stdout, events, []int{0, 8, 12}, 110)
-		fwd := trace.Filter(events, "attn-fwd")
-		fmt.Println("forward phase:")
-		trace.WriteStats(os.Stdout, fwd)
+	if err := zeppelin.RenderExperiment(context.Background(), os.Stdout, "fig12", zeppelin.Options{}); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -26,10 +26,12 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"zeppelin/internal/cluster"
 	"zeppelin/internal/faults"
 	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
@@ -164,10 +166,53 @@ func (c *Config) speedAware() bool {
 	return ok && sa.SpeedAware()
 }
 
-// Run executes the campaign and returns its report. The loop is serial
-// by construction — iteration t+1's controller state depends on t — so
-// parallelism lives one level up, across (method × policy × seed) cells.
-func Run(cfg Config) (*Report, error) {
+// Stream is an in-flight campaign: the iterator-style counterpart of
+// Run. Start validates the configuration and primes the loop state; each
+// Next call simulates exactly one iteration and returns its IterRecord,
+// so callers — the public pkg/zeppelin Campaign API, the zeppelind
+// NDJSON event stream — can consume the campaign record by record
+// instead of all at once. Draining a Stream produces the byte-identical
+// record sequence and Report that Run returns for the same Config.
+//
+// A Stream is single-goroutine: the loop is serial by construction
+// (iteration t+1's controller state depends on t), so parallelism lives
+// one level up, across (method × policy × seed) cells.
+type Stream struct {
+	ctx context.Context
+	cfg Config
+
+	// Derived once at Start.
+	espec      cluster.Spec
+	rpn        int // DP ranks per node
+	baseWorld  int
+	capacity   int
+	baseTokens int
+	shapeIndep bool
+	speedAware bool
+	layers     float64
+
+	// Loop state carried across iterations.
+	rng         *rand.Rand
+	stale       *slotPlan
+	sinceReplan int
+	prevTokens  int
+	it          int
+	busySum     []float64
+	spanSum     float64
+
+	report *Report
+	err    error
+	done   bool
+}
+
+// Start validates the configuration and returns a primed Stream. The
+// context governs the whole campaign: once it is cancelled, the next
+// Next call stops the stream and Err reports ctx.Err(). A nil context
+// means Background.
+func Start(ctx context.Context, cfg Config) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,180 +220,247 @@ func Run(cfg Config) (*Report, error) {
 		rp.ResetPlanner()
 	}
 	espec := cfg.Trainer.EffectiveSpec()
-	rpn := espec.GPUsPerNode // DP ranks per node
 	baseWorld := cfg.Trainer.GPUs() / cfg.Trainer.TP
-	capacity := int(cfg.Trainer.CapacityFactor * float64(cfg.Trainer.TokensPerGPU*cfg.Trainer.TP))
-	baseTokens := cfg.Trainer.TotalTokens()
-	shapeIndep := cfg.shapeIndependent()
-	speedAware := cfg.speedAware()
-	layers := float64(cfg.Trainer.Model.Layers)
+	return &Stream{
+		ctx:        ctx,
+		cfg:        cfg,
+		espec:      espec,
+		rpn:        espec.GPUsPerNode,
+		baseWorld:  baseWorld,
+		capacity:   int(cfg.Trainer.CapacityFactor * float64(cfg.Trainer.TokensPerGPU*cfg.Trainer.TP)),
+		baseTokens: cfg.Trainer.TotalTokens(),
+		shapeIndep: cfg.shapeIndependent(),
+		speedAware: cfg.speedAware(),
+		layers:     float64(cfg.Trainer.Model.Layers),
+		rng:        rand.New(rand.NewSource(cfg.Trainer.Seed)),
+		busySum:    make([]float64, baseWorld),
+		report:     &Report{Records: make([]IterRecord, 0, cfg.Iters)},
+	}, nil
+}
 
-	rng := rand.New(rand.NewSource(cfg.Trainer.Seed))
-	report := &Report{Records: make([]IterRecord, 0, cfg.Iters)}
-	busySum := make([]float64, baseWorld)
-	var spanSum float64
-
-	var stale *slotPlan
-	sinceReplan := 0
-	prevTokens := 0
-	for it := 0; it < cfg.Iters; it++ {
-		// Resolve the iteration's cluster state under the fault schedule:
-		// active node count, effective-speed view, transition events.
-		view := faults.View{Nodes: cfg.Trainer.Nodes, PrevNodes: cfg.Trainer.Nodes}
-		if cfg.Faults != nil {
-			view = cfg.Faults.At(it, cfg.Trainer.Nodes, rpn, espec.NICsPerNode)
-		}
-		world := view.Nodes * rpn
-		var recovery float64
-		if view.Resized {
-			// Elastic transition: the stale skeleton addresses a rank set
-			// that no longer exists; every shape-dependent method must
-			// replan. Fail-stop loses state and pays the checkpoint
-			// restart; planned shrink/grow migrates it through Eq. 2.
-			stale = nil
-			if view.FailStop {
-				recovery += cfg.Faults.Restart()
-			} else {
-				_, mig, err := faults.Migration(espec, view.PrevNodes, view.Nodes,
-					prevTokens, cfg.MigrateBytesPerToken)
-				if err != nil {
-					return nil, fmt.Errorf("campaign: iteration %d migration: %w", it, err)
-				}
-				recovery += mig
-			}
-		}
-		// Speed-aware methods project plans against the degraded view;
-		// oblivious ones keep homogeneous projections (replanning would
-		// not help them around a straggler).
-		var slow []float64
-		if speedAware && view.Health.Degraded() {
-			slow = make([]float64, world)
-			for r := range slow {
-				slow[r] = view.Health.SlowOf(r)
-			}
-		}
-
-		batch := cfg.Arrival.Batch(it, baseTokens, rng)
-		if len(batch) == 0 {
-			return nil, fmt.Errorf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
-		}
-		// Admission control: no iteration can place more tokens than the
-		// partitioners' total capacity, so overload arrivals (bursts,
-		// Poisson spikes) — and nominal arrivals landing on an elastically
-		// shrunk cluster — are trimmed to fit and the excess is deferred;
-		// in a real system those samples re-enter the stream later.
-		batch, deferred := admit(batch, world*capacity)
-
-		// Project both placements for the incoming batch: what a fresh
-		// plan would achieve and what reusing the stale skeleton costs.
-		// Shape-independent methods skip the projection entirely — they
-		// have no plan skeleton to manage.
-		var fresh *slotPlan
-		var staleImb float64
-		replan := false
-		if !shapeIndep {
-			fresh = buildSlotPlan(batch, world, capacity, slow)
-			staleImb = fresh.imbalance
-			if stale != nil {
-				staleImb = stale.fill(batch, slow)
-			}
-			replan = stale == nil || cfg.Policy.ShouldReplan(PolicyState{
-				Iter:           it,
-				SinceReplan:    sinceReplan,
-				StaleImbalance: staleImb,
-				FreshImbalance: fresh.imbalance,
-			})
-		}
-
-		// The fresh reference simulation: full fidelity for the plan the
-		// partitioner would produce on this batch, on the active cluster,
-		// under the iteration's effective-speed view.
-		tcfg := cfg.Trainer
-		tcfg.Nodes = view.Nodes
-		tcfg.Health = view.Health
-		res, err := trainer.Run(tcfg, cfg.Method, batch)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: iteration %d: %w", it, err)
-		}
-		busy := perRankBusy(res, world)
-		realizedImb := maxOverMean(busy)
-
-		rec := IterRecord{
-			Iter:     it,
-			Tokens:   seq.TotalLen(batch),
-			Seqs:     len(batch),
-			Deferred: deferred,
-			Penalty:  1,
-			Recovery: recovery,
-			Events:   view.Events,
-		}
-		if cfg.Faults != nil {
-			rec.World = world
-		}
-		span := res.LayerTime
-		switch {
-		case shapeIndep:
-			// Even-splitting methods re-chunk every iteration as part of
-			// their normal (cheap) host path; there is no plan to reuse.
-			rec.Time = res.IterTime
-			rec.Imbalance = realizedImb
-		case replan:
-			rec.Replanned = true
-			rec.Time = res.IterTime + cfg.ReplanCost
-			rec.Imbalance = realizedImb
-			stale = fresh
-			sinceReplan = 0
-		default:
-			// Reuse: the layer critical path stretches by the ratio of the
-			// stale skeleton's projected imbalance to the fresh plan's; the
-			// partitioner's host overhead is skipped.
-			penalty := staleImb / fresh.imbalance
-			if penalty < 1 {
-				penalty = 1
-			}
-			rec.Penalty = penalty
-			span = res.LayerTime * penalty
-			rec.Time = span*layers + res.GradSync + cfg.ReuseOverhead
-			rec.Imbalance = realizedImb * penalty
-			sinceReplan++
-		}
-		rec.Time += recovery
-		if rec.Time > 0 {
-			rec.TokensPerSec = float64(rec.Tokens) / rec.Time
-		}
-		prevTokens = rec.Tokens
-
-		// Utilization: busy fraction of the (possibly stretched) layer span.
-		var util float64
-		if span > 0 {
-			for r, b := range busy {
-				f := b / span
-				if f > 1 {
-					f = 1
-				}
-				util += f
-				busySum[r] += b
-			}
-			util /= float64(world)
-			spanSum += span
-		}
-		rec.Utilization = util
-
-		report.Records = append(report.Records, rec)
+// Next simulates the next iteration and returns its record. It returns
+// ok=false when the campaign completed, the context was cancelled, or an
+// iteration failed — Err distinguishes the three (nil on completion).
+func (s *Stream) Next() (IterRecord, bool) {
+	if s.done {
+		return IterRecord{}, false
 	}
+	if s.it >= s.cfg.Iters {
+		s.finish()
+		return IterRecord{}, false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		s.finish()
+		return IterRecord{}, false
+	}
+	rec, err := s.step()
+	if err != nil {
+		s.err = err
+		s.finish()
+		return IterRecord{}, false
+	}
+	s.report.Records = append(s.report.Records, rec)
+	s.it++
+	return rec, true
+}
 
-	report.PerRankUtil = make([]float64, baseWorld)
-	if spanSum > 0 {
-		for r := range busySum {
-			f := busySum[r] / spanSum
+// Err reports why the stream stopped: nil while records keep coming and
+// after a complete campaign, the context error after a cancellation, or
+// the failing iteration's error.
+func (s *Stream) Err() error { return s.err }
+
+// Report returns the campaign report accumulated so far. After Next has
+// returned false the report is finalized (per-rank utilization and the
+// summary computed over the records that ran — all of them for a
+// complete campaign, a prefix for a cancelled one).
+func (s *Stream) Report() *Report { return s.report }
+
+// finish seals the stream: per-rank utilization and the summary fold
+// over whatever records were produced.
+func (s *Stream) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.report.PerRankUtil = make([]float64, s.baseWorld)
+	if s.spanSum > 0 {
+		for r := range s.busySum {
+			f := s.busySum[r] / s.spanSum
 			if f > 1 {
 				f = 1
 			}
-			report.PerRankUtil[r] = f
+			s.report.PerRankUtil[r] = f
 		}
 	}
-	report.summarize(cfg.Method.Name(), cfg.Arrival.Name(), policyLabel(&cfg))
-	return report, nil
+	s.report.summarize(s.cfg.Method.Name(), s.cfg.Arrival.Name(), policyLabel(&s.cfg))
+}
+
+// step simulates one iteration — the body of the campaign loop.
+func (s *Stream) step() (IterRecord, error) {
+	cfg := &s.cfg
+	it := s.it
+	// Resolve the iteration's cluster state under the fault schedule:
+	// active node count, effective-speed view, transition events.
+	view := faults.View{Nodes: cfg.Trainer.Nodes, PrevNodes: cfg.Trainer.Nodes}
+	if cfg.Faults != nil {
+		view = cfg.Faults.At(it, cfg.Trainer.Nodes, s.rpn, s.espec.NICsPerNode)
+	}
+	world := view.Nodes * s.rpn
+	var recovery float64
+	if view.Resized {
+		// Elastic transition: the stale skeleton addresses a rank set
+		// that no longer exists; every shape-dependent method must
+		// replan. Fail-stop loses state and pays the checkpoint
+		// restart; planned shrink/grow migrates it through Eq. 2.
+		s.stale = nil
+		if view.FailStop {
+			recovery += cfg.Faults.Restart()
+		} else {
+			_, mig, err := faults.Migration(s.espec, view.PrevNodes, view.Nodes,
+				s.prevTokens, cfg.MigrateBytesPerToken)
+			if err != nil {
+				return IterRecord{}, fmt.Errorf("campaign: iteration %d migration: %w", it, err)
+			}
+			recovery += mig
+		}
+	}
+	// Speed-aware methods project plans against the degraded view;
+	// oblivious ones keep homogeneous projections (replanning would
+	// not help them around a straggler).
+	var slow []float64
+	if s.speedAware && view.Health.Degraded() {
+		slow = make([]float64, world)
+		for r := range slow {
+			slow[r] = view.Health.SlowOf(r)
+		}
+	}
+
+	batch := cfg.Arrival.Batch(it, s.baseTokens, s.rng)
+	if len(batch) == 0 {
+		return IterRecord{}, fmt.Errorf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
+	}
+	// Admission control: no iteration can place more tokens than the
+	// partitioners' total capacity, so overload arrivals (bursts,
+	// Poisson spikes) — and nominal arrivals landing on an elastically
+	// shrunk cluster — are trimmed to fit and the excess is deferred;
+	// in a real system those samples re-enter the stream later.
+	batch, deferred := admit(batch, world*s.capacity)
+
+	// Project both placements for the incoming batch: what a fresh
+	// plan would achieve and what reusing the stale skeleton costs.
+	// Shape-independent methods skip the projection entirely — they
+	// have no plan skeleton to manage.
+	var fresh *slotPlan
+	var staleImb float64
+	replan := false
+	if !s.shapeIndep {
+		fresh = buildSlotPlan(batch, world, s.capacity, slow)
+		staleImb = fresh.imbalance
+		if s.stale != nil {
+			staleImb = s.stale.fill(batch, slow)
+		}
+		replan = s.stale == nil || cfg.Policy.ShouldReplan(PolicyState{
+			Iter:           it,
+			SinceReplan:    s.sinceReplan,
+			StaleImbalance: staleImb,
+			FreshImbalance: fresh.imbalance,
+		})
+	}
+
+	// The fresh reference simulation: full fidelity for the plan the
+	// partitioner would produce on this batch, on the active cluster,
+	// under the iteration's effective-speed view.
+	tcfg := cfg.Trainer
+	tcfg.Nodes = view.Nodes
+	tcfg.Health = view.Health
+	res, err := trainer.Run(tcfg, cfg.Method, batch)
+	if err != nil {
+		return IterRecord{}, fmt.Errorf("campaign: iteration %d: %w", it, err)
+	}
+	busy := perRankBusy(res, world)
+	realizedImb := maxOverMean(busy)
+
+	rec := IterRecord{
+		Iter:     it,
+		Tokens:   seq.TotalLen(batch),
+		Seqs:     len(batch),
+		Deferred: deferred,
+		Penalty:  1,
+		Recovery: recovery,
+		Events:   view.Events,
+	}
+	if cfg.Faults != nil {
+		rec.World = world
+	}
+	span := res.LayerTime
+	switch {
+	case s.shapeIndep:
+		// Even-splitting methods re-chunk every iteration as part of
+		// their normal (cheap) host path; there is no plan to reuse.
+		rec.Time = res.IterTime
+		rec.Imbalance = realizedImb
+	case replan:
+		rec.Replanned = true
+		rec.Time = res.IterTime + cfg.ReplanCost
+		rec.Imbalance = realizedImb
+		s.stale = fresh
+		s.sinceReplan = 0
+	default:
+		// Reuse: the layer critical path stretches by the ratio of the
+		// stale skeleton's projected imbalance to the fresh plan's; the
+		// partitioner's host overhead is skipped.
+		penalty := staleImb / fresh.imbalance
+		if penalty < 1 {
+			penalty = 1
+		}
+		rec.Penalty = penalty
+		span = res.LayerTime * penalty
+		rec.Time = span*s.layers + res.GradSync + cfg.ReuseOverhead
+		rec.Imbalance = realizedImb * penalty
+		s.sinceReplan++
+	}
+	rec.Time += recovery
+	if rec.Time > 0 {
+		rec.TokensPerSec = float64(rec.Tokens) / rec.Time
+	}
+	s.prevTokens = rec.Tokens
+
+	// Utilization: busy fraction of the (possibly stretched) layer span.
+	var util float64
+	if span > 0 {
+		for r, b := range busy {
+			f := b / span
+			if f > 1 {
+				f = 1
+			}
+			util += f
+			s.busySum[r] += b
+		}
+		util /= float64(world)
+		s.spanSum += span
+	}
+	rec.Utilization = util
+	return rec, nil
+}
+
+// Run executes the campaign to completion and returns its report: Start
+// plus a full drain of the stream. Cancelling ctx stops the loop between
+// iterations and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	s, err := Start(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return s.Report(), nil
 }
 
 // policyLabel names the controller column: shape-independent methods
@@ -365,10 +477,10 @@ func policyLabel(cfg *Config) string {
 // self-contained, so results are positional and bit-identical at every
 // pool size; the fig13 experiment and the CLI campaign subcommand both
 // fan their (row × seed) grids through it.
-func RunGrid(cfgs []Config, workers int) ([]*Report, error) {
+func RunGrid(ctx context.Context, cfgs []Config, workers int) ([]*Report, error) {
 	reports := make([]*Report, len(cfgs))
-	err := runner.ForEach(workers, len(cfgs), func(i int) error {
-		rep, err := Run(cfgs[i])
+	err := runner.ForEach(ctx, workers, len(cfgs), func(i int) error {
+		rep, err := Run(ctx, cfgs[i])
 		if err != nil {
 			name := "?"
 			if cfgs[i].Method != nil {

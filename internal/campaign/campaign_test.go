@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func driftArrival(iters int) Arrival {
 
 func runCampaign(t *testing.T, cfg Config) *Report {
 	t.Helper()
-	rep, err := Run(cfg)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,8 +167,8 @@ func TestCampaignDeterministicAndParallelSafe(t *testing.T) {
 		serial[i] = runCampaign(t, cfgFor(int64(100+i)))
 	}
 	parallel := make([]*Report, 4)
-	if err := runner.ForEach(4, 4, func(i int) error {
-		rep, err := Run(cfgFor(int64(100 + i)))
+	if err := runner.ForEach(context.Background(), 4, 4, func(i int) error {
+		rep, err := Run(context.Background(), cfgFor(int64(100+i)))
 		parallel[i] = rep
 		return err
 	}); err != nil {
@@ -205,10 +206,10 @@ func TestReportJSONRoundTrips(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{Trainer: testCell(1), Iters: 5}); err == nil {
+	if _, err := Run(context.Background(), Config{Trainer: testCell(1), Iters: 5}); err == nil {
 		t.Fatal("missing method must error")
 	}
-	if _, err := Run(Config{Trainer: testCell(1), Method: zeppelin.Full(), Iters: 0}); err == nil {
+	if _, err := Run(context.Background(), Config{Trainer: testCell(1), Method: zeppelin.Full(), Iters: 0}); err == nil {
 		t.Fatal("zero iterations must error")
 	}
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"runtime"
 	"testing"
@@ -214,7 +215,7 @@ func TestFaultedCampaignDeterministicAcrossPools(t *testing.T) {
 	}
 	var blobs [][]byte
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-		reports, err := RunGrid(cfgs, workers)
+		reports, err := RunGrid(context.Background(), cfgs, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -261,11 +262,11 @@ func TestConfigValidatesFaultSchedule(t *testing.T) {
 	cfg.Method = zeppelin.Full()
 	cfg.Iters = 4
 	cfg.Faults = &faults.Schedule{Outages: []faults.NodeOutage{{Node: 5, From: 0, To: 2}}}
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("out-of-range outage node must fail validation")
 	}
 	cfg.Faults = &faults.Schedule{Stragglers: []faults.Straggler{{Rank: 99, Factor: 2, From: 0, To: 2}}}
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("out-of-range straggler rank must fail validation")
 	}
 }

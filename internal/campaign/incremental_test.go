@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -151,11 +152,11 @@ func TestIncrementalCampaignGridSerialEqualsParallel(t *testing.T) {
 		}
 		return cfgs
 	}
-	serial, err := RunGrid(build(), 1)
+	serial, err := RunGrid(context.Background(), build(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunGrid(build(), 4)
+	parallel, err := RunGrid(context.Background(), build(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"zeppelin/internal/workload"
+	"zeppelin/internal/zeppelin"
+)
+
+// streamCfg is a small drifting campaign cell for stream tests.
+func streamCfg(iters int) Config {
+	return Config{
+		Trainer: testCell(7),
+		Method:  zeppelin.Full(),
+		Iters:   iters,
+		Arrival: Drift{Path: []workload.Dataset{workload.ArXiv, workload.GitHub}, Iters: iters},
+		Policy:  Threshold{},
+	}
+}
+
+// TestStreamDrainMatchesRun: consuming a campaign record by record is
+// bit-identical to the all-at-once runner — summary, per-rank
+// utilization, and every record.
+func TestStreamDrainMatchesRun(t *testing.T) {
+	cfg := streamCfg(8)
+	want, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []IterRecord
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, want.Records) {
+		t.Fatal("streamed records differ from campaign.Run records")
+	}
+	if !reflect.DeepEqual(st.Report(), want) {
+		t.Fatal("streamed report differs from campaign.Run report")
+	}
+}
+
+// TestStreamStopsMidStreamOnCancel: cancelling the campaign context
+// between Next calls ends the stream at the next call, Err reports the
+// context error, and the partial report covers exactly the records that
+// ran.
+func TestStreamStopsMidStreamOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := Start(ctx, streamCfg(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := st.Next(); !ok {
+			t.Fatalf("stream ended prematurely at %d: %v", i, st.Err())
+		}
+	}
+	cancel()
+	if _, ok := st.Next(); ok {
+		t.Fatal("Next must stop after cancellation")
+	}
+	if !errors.Is(st.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", st.Err())
+	}
+	rep := st.Report()
+	if len(rep.Records) != 3 {
+		t.Fatalf("partial report has %d records, want 3", len(rep.Records))
+	}
+	if rep.Summary.Iters != 3 {
+		t.Fatalf("partial summary covers %d iters, want 3", rep.Summary.Iters)
+	}
+}
+
+// TestRunReturnsContextError: a cancelled context surfaces as the run
+// error.
+func TestRunReturnsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, streamCfg(5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelledGridLeaksNoWorkers: cancelling a campaign grid mid-run
+// drains the runner pool back to the pre-grid goroutine baseline — the
+// property the zeppelind daemon relies on when HTTP clients disconnect.
+func TestCancelledGridLeaksNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfgs := make([]Config, 16)
+	for i := range cfgs {
+		cfgs[i] = streamCfg(200)
+		cfgs[i].Trainer.Seed = int64(1000 + i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunGrid(ctx, cfgs, 4)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let a few campaigns start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunGrid error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunGrid did not return after cancellation")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("runner workers leaked after cancelled grid: before=%d now=%d",
+		before, runtime.NumGoroutine())
+}

@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -65,6 +66,18 @@ type Options struct {
 	// sharing one engine across figures memoizes cells they have in
 	// common (cmd/zeppelin's `all` does this).
 	Engine *runner.Engine
+	// Ctx, when set, bounds every grid fan-out of the experiment:
+	// cancellation stops the pool between jobs and the experiment
+	// returns ctx.Err(). Nil means Background (run to completion).
+	Ctx context.Context
+}
+
+// ctx returns the experiment's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // normalized returns options with defaults applied.
@@ -149,12 +162,13 @@ func (g *grid) add(group string, cell Cell, sample Sampler, samplerName string, 
 	}
 }
 
-// run executes the grid and returns per-group seed-averaged throughput.
+// run executes the grid under ctx and returns per-group seed-averaged
+// throughput.
 // A group key that did not resolve to a result is an error, so drift
 // between a figure's grid-build loop and its readback loop fails loudly
 // instead of publishing zeros.
-func (g *grid) run(eng *runner.Engine) (map[string]float64, error) {
-	rs, err := eng.Run(g.jobs)
+func (g *grid) run(ctx context.Context, eng *runner.Engine) (map[string]float64, error) {
+	rs, err := eng.Run(ctx, g.jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -174,10 +188,10 @@ func (g *grid) run(eng *runner.Engine) (map[string]float64, error) {
 // and returns the average tokens/second. It is the single-cell
 // convenience wrapper over the runner; figures submit whole grids
 // instead so cells fan out across the pool.
-func MeanThroughput(cell Cell, sample Sampler, m trainer.Method, seeds int) (float64, error) {
+func MeanThroughput(ctx context.Context, cell Cell, sample Sampler, m trainer.Method, seeds int) (float64, error) {
 	var g grid
 	g.add("cell", cell, sample, "", m, seeds)
-	means, err := g.run(runner.New(runner.Options{Workers: 1}))
+	means, err := g.run(ctx, runner.New(runner.Options{Workers: 1}))
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,11 +26,11 @@ func TestMethodsOrder(t *testing.T) {
 
 func TestMeanThroughputAveragesSeeds(t *testing.T) {
 	cell := Cell{Model: model.LLaMA3B, Spec: cluster.ClusterA, Nodes: 1, TP: 1, TokensPerGPU: 2048}
-	tp1, err := MeanThroughput(cell, workload.ArXiv.Batch, Methods()[0], 1)
+	tp1, err := MeanThroughput(context.Background(), cell, workload.ArXiv.Batch, Methods()[0], 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tp2, err := MeanThroughput(cell, workload.ArXiv.Batch, Methods()[0], 2)
+	tp2, err := MeanThroughput(context.Background(), cell, workload.ArXiv.Batch, Methods()[0], 2)
 	if err != nil {
 		t.Fatal(err)
 	}

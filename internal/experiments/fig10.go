@@ -35,7 +35,7 @@ func Fig10(opts Options) ([]Fig10Row, error) {
 			}
 		}
 	}
-	means, err := g.run(opts.engine())
+	means, err := g.run(opts.ctx(), opts.engine())
 	if err != nil {
 		return nil, fmt.Errorf("fig10: %w", err)
 	}

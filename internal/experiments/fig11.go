@@ -51,7 +51,7 @@ func Fig11(opts Options) ([]Fig11Row, error) {
 			g.add(key(d.Name, v.Label), cell, d.Batch, d.Name, v.Method, opts.Seeds)
 		}
 	}
-	means, err := g.run(opts.engine())
+	means, err := g.run(opts.ctx(), opts.engine())
 	if err != nil {
 		return nil, fmt.Errorf("fig11: %w", err)
 	}

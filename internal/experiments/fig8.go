@@ -67,7 +67,7 @@ func Fig8(opts Options) ([]Fig8Panel, error) {
 			}
 		}
 	}
-	means, err := g.run(opts.engine())
+	means, err := g.run(opts.ctx(), opts.engine())
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}

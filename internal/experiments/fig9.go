@@ -39,7 +39,7 @@ func Fig9(opts Options) ([]Fig9Series, error) {
 			}
 		}
 	}
-	means, err := g.run(opts.engine())
+	means, err := g.run(opts.ctx(), opts.engine())
 	if err != nil {
 		return nil, fmt.Errorf("fig9: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -72,7 +73,7 @@ func TestFig8PanelGolden(t *testing.T) {
 	}
 	for _, d := range evalDatasets() {
 		for i, m := range Methods() {
-			tp, err := MeanThroughput(cell, d.Batch, m, 1)
+			tp, err := MeanThroughput(context.Background(), cell, d.Batch, m, 1)
 			if err != nil {
 				t.Fatal(err)
 			}

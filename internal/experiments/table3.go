@@ -56,7 +56,7 @@ func Table3Opts(opts Options) ([]Table3Column, error) {
 			SamplerName: sp.name,
 		})
 	}
-	rs, err := opts.engine().Run(jobs)
+	rs, err := opts.engine().Run(opts.ctx(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("table3: %w", err)
 	}

@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -159,7 +160,18 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 // is reported — depends only on the grid, never on pool timing: the
 // returned error is the failure with the lowest submission index,
 // wrapped with its job key.
-func (e *Engine) Run(jobs []Job) (*ResultSet, error) {
+//
+// Cancelling ctx stops the grid promptly: workers finish the job they
+// are on, no further jobs start, and Run returns ctx.Err(). A cancelled
+// run caches nothing visible — partial outcomes stay in the memo cache
+// (they are deterministic and complete) but no ResultSet is returned.
+func (e *Engine) Run(ctx context.Context, jobs []Job) (*ResultSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seen := make(map[string]struct{}, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
@@ -208,7 +220,9 @@ func (e *Engine) Run(jobs []Job) (*ResultSet, error) {
 		leaders = append(leaders, i)
 	}
 
-	// Fan the leaders across the pool.
+	// Fan the leaders across the pool. Workers re-check the context
+	// between jobs so a cancellation mid-grid drains the queue without
+	// starting new simulations.
 	var wg sync.WaitGroup
 	work := make(chan int)
 	workers := min(e.workers, len(leaders))
@@ -217,15 +231,26 @@ func (e *Engine) Run(jobs []Job) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain without executing
+				}
 				outcomes[i] = e.execute(&jobs[i])
 			}
 		}()
 	}
+feed:
 	for _, i := range leaders {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Resolve followers from their leader's outcome and assemble the
 	// result set in submission order.
@@ -288,7 +313,18 @@ func (e *Engine) execute(j *Job) *outcome {
 // deterministic fan-out that is not a trainer job — trace generation,
 // dataset sampling — and like Run it never lets pool timing pick which
 // error surfaces.
-func ForEach(workers, n int, fn func(i int) error) error {
+//
+// Cancelling ctx stops the fan-out promptly — in-flight fn calls finish,
+// no further indices start — and ForEach returns ctx.Err(); cancellation
+// takes priority over any error fn returned, since the index set that
+// actually ran is timing-dependent once the context fires.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -301,15 +337,26 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
 				errs[i] = fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

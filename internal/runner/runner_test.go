@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -59,7 +60,7 @@ func TestRunCollectsInSubmissionOrder(t *testing.T) {
 	for s := 0; s < 6; s++ {
 		jobs = append(jobs, quickJob(fmt.Sprintf("s%d", s), int64(100+s), baselines.TECP{}))
 	}
-	rs, err := New(Options{Workers: 4}).Run(jobs)
+	rs, err := New(Options{Workers: 4}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestJobValidation(t *testing.T) {
 		{"nil sampler", []Job{{Key: "a", Method: baselines.TECP{}}}, "no sampler"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := eng.Run(tc.jobs); err == nil || !strings.Contains(err.Error(), tc.want) {
+			if _, err := eng.Run(context.Background(), tc.jobs); err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}
 		})
@@ -107,7 +108,7 @@ func TestErrorPropagation(t *testing.T) {
 	bad2.Config.TP = 3 // does not divide GPUs per node
 	jobs := []Job{quickJob("ok", 3, baselines.TECP{}), bad, bad2}
 	for _, workers := range []int{1, 8} {
-		_, err := New(Options{Workers: workers}).Run(jobs)
+		_, err := New(Options{Workers: workers}).Run(context.Background(), jobs)
 		if err == nil {
 			t.Fatalf("workers=%d: grid with invalid cell must fail", workers)
 		}
@@ -120,7 +121,7 @@ func TestErrorPropagation(t *testing.T) {
 func TestCacheHits(t *testing.T) {
 	eng := New(Options{Workers: 4})
 	same := func(key string) Job { return quickJob(key, 42, zeppelin.Full()) }
-	rs, err := eng.Run([]Job{same("a"), same("b"), quickJob("c", 43, zeppelin.Full())})
+	rs, err := eng.Run(context.Background(), []Job{same("a"), same("b"), quickJob("c", 43, zeppelin.Full())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestCacheHits(t *testing.T) {
 	}
 
 	// A second Run on the same engine hits the persistent cache.
-	rs2, err := eng.Run([]Job{same("again")})
+	rs2, err := eng.Run(context.Background(), []Job{same("again")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestCacheHits(t *testing.T) {
 // display-name trap: TECP{} and TECP{Routed: true} share Name() but are
 // different methods and must not be memoized together.
 func TestMethodFieldsKeepDistinctCacheEntries(t *testing.T) {
-	rs, err := New(Options{}).Run([]Job{
+	rs, err := New(Options{}).Run(context.Background(), []Job{
 		quickJob("plain", 7, baselines.TECP{}),
 		quickJob("routed", 7, baselines.TECP{Routed: true}),
 	})
@@ -167,7 +168,7 @@ func TestAnonymousSamplersNeverMemoize(t *testing.T) {
 	eng := New(Options{})
 	j1, j2 := quickJob("a", 5, baselines.TECP{}), quickJob("b", 5, baselines.TECP{})
 	j1.SamplerName, j2.SamplerName = "", ""
-	rs, err := eng.Run([]Job{j1, j2})
+	rs, err := eng.Run(context.Background(), []Job{j1, j2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestAnonymousSamplersNeverMemoize(t *testing.T) {
 
 func TestNoMemoOption(t *testing.T) {
 	eng := New(Options{NoMemo: true})
-	rs, err := eng.Run([]Job{quickJob("a", 5, baselines.TECP{}), quickJob("b", 5, baselines.TECP{})})
+	rs, err := eng.Run(context.Background(), []Job{quickJob("a", 5, baselines.TECP{}), quickJob("b", 5, baselines.TECP{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +207,11 @@ func TestSerialParallelDeterminism(t *testing.T) {
 			}
 		}
 	}
-	serial, err := New(Options{Workers: 1}).Run(jobs)
+	serial, err := New(Options{Workers: 1}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := New(Options{Workers: 2 * runtime.GOMAXPROCS(0)}).Run(jobs)
+	parallel, err := New(Options{Workers: 2 * runtime.GOMAXPROCS(0)}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestSerialParallelDeterminism(t *testing.T) {
 }
 
 func TestWriteJSONArtifact(t *testing.T) {
-	rs, err := New(Options{Workers: 2}).Run([]Job{
+	rs, err := New(Options{Workers: 2}).Run(context.Background(), []Job{
 		quickJob("a", 1, baselines.TECP{}),
 		quickJob("b", 1, baselines.TECP{}),
 	})
@@ -245,7 +246,7 @@ func TestWriteJSONArtifact(t *testing.T) {
 
 func TestForEach(t *testing.T) {
 	out := make([]int, 40)
-	if err := ForEach(8, len(out), func(i int) error {
+	if err := ForEach(context.Background(), 8, len(out), func(i int) error {
 		out[i] = i * i
 		return nil
 	}); err != nil {
@@ -257,7 +258,7 @@ func TestForEach(t *testing.T) {
 		}
 	}
 	sentinel := errors.New("boom")
-	err := ForEach(4, 10, func(i int) error {
+	err := ForEach(context.Background(), 4, 10, func(i int) error {
 		if i >= 3 {
 			return fmt.Errorf("slot %d: %w", i, sentinel)
 		}

@@ -253,7 +253,15 @@ func Run(cfg Config, m Method, batch []seq.Sequence) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", m.Name(), err)
 	}
+	return RunPlanned(cfg, m.Name(), env, pl, batch)
+}
 
+// RunPlanned simulates one iteration of an already-planned placement on
+// the environment it was planned against. Callers that need both the
+// placement's plan facts and the simulated readout (the public API's
+// one-shot plan endpoint) use it to avoid solving the partition twice;
+// env must come from cfg.NewEnv() and carry no previously emitted tasks.
+func RunPlanned(cfg Config, name string, env *Env, pl Placement, batch []seq.Sequence) (*Result, error) {
 	start := env.E.Barrier("start", 0)
 
 	attnF := pl.EmitAttention(env, false, start)
@@ -267,11 +275,11 @@ func Run(cfg Config, m Method, batch []seq.Sequence) (*Result, error) {
 	attnB := pl.EmitAttention(env, true, toAttnB)
 
 	if _, err := env.E.Run(); err != nil {
-		return nil, fmt.Errorf("%s: %w", m.Name(), err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 
 	res := &Result{
-		Method:       m.Name(),
+		Method:       name,
 		Tokens:       seq.TotalLen(batch),
 		HostOverhead: pl.HostOverhead(),
 		PerRankPhase: perRankPhases(env),

@@ -1,0 +1,35 @@
+// Package zeppelin is the public, versioned v1 API of the Zeppelin
+// simulator: a curated surface over the internal packages that lets any
+// Go program — and, through cmd/zeppelind, any HTTP client — plan a
+// batch, stream a long-horizon campaign, regenerate a paper experiment,
+// or benchmark the planner fast path, without importing internal/.
+//
+// The surface is deliberately small and wire-stable:
+//
+//   - Planner / PlanRequest / PlanResponse — one-shot partition+remap
+//     planning of a sampled batch, with a simulated-iteration readout.
+//     NewPlanner takes functional options; WithIncremental backs it by
+//     the stateful incremental re-planner (bit-identical in exact mode).
+//   - Campaign / CampaignRequest / CampaignEvent — iterator-style
+//     streaming of a multi-iteration campaign: NewCampaign resolves the
+//     request, Start binds a context, and each Next call simulates
+//     exactly one iteration and returns its event. Draining a Campaign
+//     is bit-identical to the internal all-at-once runner.
+//   - RunExperiment / RenderExperiment — every paper table and figure by
+//     name ("fig8", "table3", …), structured or paper-style text.
+//   - CompareCampaigns — the CLI's (method × seed) campaign comparison
+//     grid, with JSON and text artifact writers.
+//   - RunPlannerBench — the fig15 planner fast-path measurement in the
+//     shared benchfmt artifact schema.
+//   - Version / APIVersion — build and API-revision identification.
+//
+// Every entry point takes a context.Context and honors cancellation:
+// campaigns stop between iterations, experiment grids stop between
+// simulation jobs, and the bounded worker pools drain without leaking
+// goroutines. All request and response structs marshal to a JSON wire
+// schema that is pinned by golden tests (testdata/*.golden.json) and
+// served verbatim by the zeppelind daemon under /v1.
+//
+// The JSON error shape every /v1 endpoint returns on failure is
+// ErrorBody: {"error":{"code":"...","message":"..."}}.
+package zeppelin

@@ -1,0 +1,66 @@
+package zeppelin_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"zeppelin/pkg/zeppelin"
+)
+
+// Example plans one batch through the public API: sample a 64k-token
+// ArXiv batch on two Cluster A nodes and let full Zeppelin place it.
+// The same request, POSTed as JSON to a zeppelind daemon's /v1/plan,
+// returns the same response.
+func Example() {
+	resp, err := zeppelin.Plan(context.Background(), zeppelin.PlanRequest{
+		Model:   "7B",
+		Cluster: zeppelin.ClusterSpec{Preset: "A", Nodes: 2},
+		Dataset: "arxiv",
+		Method:  "zeppelin",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	placed := 0
+	for _, tok := range resp.TokensPerRank {
+		placed += tok
+	}
+	fmt.Println("world size:", resp.World)
+	fmt.Println("tokens conserved:", placed == resp.Tokens)
+	fmt.Println("balanced within 2x:", resp.Imbalance < 2)
+	// Output:
+	// world size: 16
+	// tokens conserved: true
+	// balanced within 2x: true
+}
+
+// ExampleCampaign streams a short campaign iteration by iteration —
+// the consumption model zeppelind serves as NDJSON over
+// GET /v1/campaigns/{id}/events.
+func ExampleCampaign() {
+	camp, err := zeppelin.StartCampaign(context.Background(), zeppelin.CampaignRequest{
+		Workload: zeppelin.WorkloadSpec{Arrival: "steady", Dataset: "arxiv"},
+		Policy:   zeppelin.PolicySpec{Name: "threshold"},
+		Iters:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		ev, ok := camp.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("iter %d: replanned=%v\n", ev.Iter, ev.Replanned)
+	}
+	if err := camp.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("iters summarized:", camp.Report().Summary.Iters)
+	// Output:
+	// iter 0: replanned=true
+	// iter 1: replanned=false
+	// iter 2: replanned=true
+	// iters summarized: 3
+}

@@ -1,0 +1,159 @@
+package zeppelin
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the wire-schema golden files")
+
+// canonicalFixtures are fully-populated instances of every v1 wire
+// struct. Marshalling them and diffing against the checked-in goldens
+// pins the JSON schema: an accidental field rename, type change, or tag
+// edit fails this test instead of silently breaking zeppelind clients.
+// Additive optional fields are schema-compatible — update the goldens
+// with `go test ./pkg/zeppelin -run WireSchema -update`.
+func canonicalFixtures() map[string]any {
+	return map[string]any{
+		"plan_request": PlanRequest{
+			Model: "7B",
+			Cluster: ClusterSpec{
+				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096,
+			},
+			Dataset: "arxiv",
+			Method:  "zeppelin",
+			Seed:    42,
+		},
+		"plan_response": PlanResponse{
+			Method:           "Zeppelin",
+			World:            16,
+			Seqs:             12,
+			Tokens:           65536,
+			TokensPerRank:    []int{4096, 4096},
+			Imbalance:        1.02,
+			LocalSeqs:        9,
+			RingSeqs:         3,
+			RemapTransfers:   5,
+			RemapInterTokens: 1024,
+			PlanMode:         "patched",
+			IterTimeSec:      1.25,
+			TokensPerSec:     52428.8,
+			HostOverheadSec:  0.0035,
+		},
+		"campaign_request": CampaignRequest{
+			Model: "7B",
+			Cluster: ClusterSpec{
+				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096,
+			},
+			Workload: WorkloadSpec{
+				Dataset:   "arxiv",
+				Arrival:   "drift",
+				DriftPath: []string{"arxiv", "github", "prolong64k"},
+			},
+			Policy:        PolicySpec{Name: "threshold", Threshold: 1.3, Every: 10},
+			Faults:        "straggler:from=10,to=40",
+			Method:        "zeppelin",
+			Iters:         200,
+			Seed:          1000,
+			ReplanCostSec: 0.02,
+			Incremental:   true,
+		},
+		"campaign_event": CampaignEvent{
+			Iter:         17,
+			Tokens:       65536,
+			Seqs:         12,
+			Deferred:     2048,
+			Replanned:    true,
+			Time:         2.5,
+			TokensPerSec: 26214.4,
+			Imbalance:    1.31,
+			Penalty:      1.08,
+			Utilization:  0.87,
+			Recovery:     0.5,
+			Events:       []string{"straggler:rank4 x2.5"},
+			World:        16,
+		},
+		"campaign_summary": CampaignSummary{
+			Method:          "Zeppelin",
+			Arrival:         "drift(arxiv->github)",
+			Policy:          "threshold(1.30)",
+			Iters:           200,
+			Replans:         23,
+			TotalTokens:     13107200,
+			DeferredTokens:  8192,
+			WallTime:        500.5,
+			TokensPerSec:    26188.2,
+			MeanIterTime:    2.5,
+			P50IterTime:     2.4,
+			P95IterTime:     2.9,
+			P99IterTime:     3.1,
+			MaxIterTime:     3.3,
+			MeanImbalance:   1.12,
+			MaxImbalance:    1.45,
+			MeanUtilization: 0.88,
+			RecoverySeconds: 1.5,
+			FaultEvents:     4,
+		},
+		"version_info": VersionInfo{
+			Module:     "zeppelin",
+			Version:    "v1.2.3",
+			APIVersion: "v1",
+			GoVersion:  "go1.22.0",
+		},
+		"error_body": ErrorBody{Error: ErrorDetail{
+			Code:    "bad_request",
+			Message: "campaign iters must be >= 1, got 0",
+		}},
+	}
+}
+
+// TestWireSchemaGolden marshals every canonical fixture and diffs it
+// against the checked-in testdata, so schema drift fails CI.
+func TestWireSchemaGolden(t *testing.T) {
+	for name, fixture := range canonicalFixtures() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(fixture, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire schema for %s drifted from golden.\n got: %s\nwant: %s\n(an intentional schema change must update %s via -update and bump clients)",
+					name, got, want, path)
+			}
+		})
+	}
+}
+
+// TestWireSchemaRoundTrip: every request fixture unmarshals back to an
+// equal value, so the schema is symmetric for clients.
+func TestWireSchemaRoundTrip(t *testing.T) {
+	req := canonicalFixtures()["campaign_request"].(CampaignRequest)
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CampaignRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(back)
+	if !bytes.Equal(raw, a) {
+		t.Fatalf("campaign request does not round-trip:\n%s\n%s", raw, a)
+	}
+}

@@ -1,0 +1,45 @@
+package zeppelin
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// APIVersion is the wire revision every served route is namespaced
+// under (the /v1 prefix) and the value VersionInfo reports. It only
+// changes on breaking schema changes; additive fields keep v1.
+const APIVersion = "v1"
+
+// VersionInfo identifies a build of the module and its API revision —
+// the payload of `zeppelin -version`, `zeppelind -version`, and
+// GET /v1/version.
+type VersionInfo struct {
+	// Module is the Go module path.
+	Module string `json:"module"`
+	// Version is the module's build version ("(devel)" for source
+	// builds outside a tagged release).
+	Version string `json:"version"`
+	// APIVersion is the wire revision served under /v1.
+	APIVersion string `json:"api_version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Version reports the running build's identification.
+func Version() VersionInfo {
+	v := VersionInfo{
+		Module:     "zeppelin",
+		Version:    "(devel)",
+		APIVersion: APIVersion,
+		GoVersion:  runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			v.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			v.Version = bi.Main.Version
+		}
+	}
+	return v
+}
