@@ -14,8 +14,11 @@
 //	benchgate -input bench.txt -emit BENCH_pr4.json               # parse only
 //	benchgate -input bench.txt -baseline BENCH_baseline.json -update
 //
-// The default gate covers the planner stack (Fig15 plan paths, the
-// partitioner, the remap solver); -gate swaps in any regexp. Benchmarks
+// -input accepts either `go test -bench` text or an already-distilled
+// benchfmt JSON artifact (zeppelin-loadgen -bench, `zeppelin bench
+// -json`), sniffed automatically. The default gate covers the planner
+// stack (Fig15 plan paths, the partitioner, the remap solver) plus the
+// loadgen service-throughput headline; -gate swaps in any regexp. Benchmarks
 // missing from either side are reported and skipped, never failed, so
 // adding or retiring a benchmark cannot brick CI — refresh the baseline
 // with -update (or locally via the README recipe) to re-cover them.
@@ -24,17 +27,21 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"unicode"
 
 	"zeppelin/internal/benchfmt"
 )
 
-// DefaultGate selects the planner-stack benchmarks the pipeline fails on.
-const DefaultGate = `^Benchmark(Fig15Plan|PartitionerPlan|RemapSolve)`
+// DefaultGate selects the benchmarks the pipeline fails on: the
+// planner stack plus zeppelin-loadgen's service-throughput headline
+// (BenchmarkLoadgenPlan encodes plans/sec as ns/plan).
+const DefaultGate = `^Benchmark(Fig15Plan|PartitionerPlan|RemapSolve|LoadgenPlan)`
 
 func main() {
 	input := flag.String("input", "-", `bench output to parse ("-" = stdin)`)
@@ -68,7 +75,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	cur, err := benchfmt.Parse(in)
+	cur, err := readInput(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +129,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) within +%.0f%% of baseline\n",
 		gated, *threshold*100)
+}
+
+// readInput accepts either `go test -bench` text or an already-distilled
+// benchfmt JSON artifact (what zeppelin-loadgen -bench and `zeppelin
+// bench -json` emit), sniffed by the leading byte — so producers that
+// speak the schema natively gate without a text round-trip.
+func readInput(in io.Reader) (*benchfmt.File, error) {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimLeftFunc(raw, unicode.IsSpace); len(trimmed) > 0 && trimmed[0] == '{' {
+		return benchfmt.ReadFile(bytes.NewReader(trimmed))
+	}
+	return benchfmt.Parse(bytes.NewReader(raw))
 }
 
 func writeArtifact(path string, f *benchfmt.File) error {

@@ -2,8 +2,33 @@ package main
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 )
+
+// TestReadInputSniffsFormat: benchgate accepts both bench text and a
+// native benchfmt JSON artifact through the same -input path.
+func TestReadInputSniffsFormat(t *testing.T) {
+	text := "BenchmarkLoadgenPlan-8   500   4000000 ns/op\n"
+	f, err := readInput(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Get("BenchmarkLoadgenPlan")
+	if r == nil || r.NsPerOp != 4e6 {
+		t.Fatalf("text parse = %+v", f.Results)
+	}
+
+	jsonIn := `{"source":"zeppelin-loadgen","results":[{"name":"BenchmarkLoadgenPlan","samples":1,"iters":500,"ns_per_op":4000000}]}`
+	f, err = readInput(strings.NewReader("\n " + jsonIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = f.Get("BenchmarkLoadgenPlan")
+	if r == nil || r.NsPerOp != 4e6 || f.Source != "zeppelin-loadgen" {
+		t.Fatalf("json parse = %+v", f)
+	}
+}
 
 // TestDefaultGateCoversPlannerStack pins which benchmarks the CI bench
 // job fails on: the planner fast paths and solvers, and nothing else —
@@ -16,6 +41,7 @@ func TestDefaultGateCoversPlannerStack(t *testing.T) {
 		"BenchmarkFig15PlanIncremental",
 		"BenchmarkPartitionerPlan",
 		"BenchmarkRemapSolve",
+		"BenchmarkLoadgenPlan",
 	}
 	for _, name := range gated {
 		if !re.MatchString(name) {
@@ -28,6 +54,7 @@ func TestDefaultGateCoversPlannerStack(t *testing.T) {
 		"BenchmarkFig15ScalingSweep",
 		"BenchmarkRunnerParallel",
 		"BenchmarkMethodZeppelin",
+		"BenchmarkLoadgenCampaignEvents",
 	}
 	for _, name := range free {
 		if re.MatchString(name) {

@@ -1,0 +1,109 @@
+// Command zeppelin-loadgen drives fleet-shaped traffic at one or more
+// zeppelind replicas: a paced stream of identical POST /v1/plan
+// requests plus N concurrent NDJSON campaign streams. It reports
+// goodput (plans/sec), the plan latency distribution (p50/p95/p99),
+// and the overload accounting (429s, errors, client-side sheds), and
+// verifies the determinism contract on the way: every admitted plan
+// response in a run must be byte-identical.
+//
+// Usage:
+//
+//	zeppelin-loadgen [-addr URL[,URL...]] [-duration 5s] [-rps 200]
+//	                 [-campaigns 4] [-iters 10] [-concurrency N]
+//	                 [-model 7B] [-dataset arxiv] [-seed 42]
+//	                 [-json] [-bench out.json]
+//
+// -addr may be repeated and/or comma-separated; requests round-robin
+// across the replicas. -bench writes the benchfmt artifact (the
+// BENCH_*.json schema) whose BenchmarkLoadgenPlan series encodes
+// goodput as ns/plan, so cmd/benchgate gates throughput regressions in
+// CI. -json prints the full report as JSON instead of the text summary.
+// Exits 1 when the run saw transport/5xx errors or non-identical plan
+// responses; 429s are expected overload signal, not failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"zeppelin/pkg/zeppelin"
+)
+
+func main() {
+	var addrs []string
+	flag.Func("addr", "zeppelind base URL (repeatable, comma-separated)", func(v string) error {
+		for _, a := range strings.Split(v, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, strings.TrimRight(a, "/"))
+			}
+		}
+		return nil
+	})
+	duration := flag.Duration("duration", 5*time.Second, "plan-traffic phase length")
+	rps := flag.Float64("rps", 200, "offered POST /v1/plan rate across all replicas; 0 disables plan traffic")
+	campaigns := flag.Int("campaigns", 4, "concurrent campaign streams; 0 disables campaign traffic")
+	iters := flag.Int("iters", 10, "iterations per campaign stream")
+	concurrency := flag.Int("concurrency", 0, "max in-flight plan requests; 0 picks 4*GOMAXPROCS")
+	model := flag.String("model", "7B", "plan request model")
+	dataset := flag.String("dataset", "arxiv", "plan request dataset")
+	seed := flag.Int64("seed", 42, "plan request seed")
+	jsonOut := flag.Bool("json", false, "print the full report as JSON instead of the text summary")
+	benchOut := flag.String("bench", "", "also write the benchfmt artifact (for cmd/benchgate) to this file")
+	flag.Parse()
+
+	if len(addrs) == 0 {
+		addrs = []string{"http://localhost:8080"}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := zeppelin.RunLoad(ctx, zeppelin.LoadConfig{
+		Addrs:           addrs,
+		Duration:        *duration,
+		PlanRPS:         *rps,
+		PlanConcurrency: *concurrency,
+		Plan:            zeppelin.PlanRequest{Model: *model, Dataset: *dataset, Seed: *seed},
+		Campaigns:       *campaigns,
+		CampaignIters:   *iters,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zeppelin-loadgen:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		report.WriteJSON(os.Stdout) //nolint:errcheck
+	} else {
+		report.WriteText(os.Stdout) //nolint:errcheck
+	}
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zeppelin-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := report.Benchfmt().WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "zeppelin-loadgen:", err)
+			os.Exit(1)
+		}
+		f.Close() //nolint:errcheck
+	}
+
+	if report.PlanErrors > 0 || report.CampaignErrors > 0 {
+		fmt.Fprintf(os.Stderr, "zeppelin-loadgen: %d plan / %d campaign errors\n",
+			report.PlanErrors, report.CampaignErrors)
+		os.Exit(1)
+	}
+	if report.PlanOK > 0 && report.UniquePlanBodies != 1 {
+		fmt.Fprintf(os.Stderr, "zeppelin-loadgen: %d distinct plan bodies for one request — determinism violation\n",
+			report.UniquePlanBodies)
+		os.Exit(1)
+	}
+}

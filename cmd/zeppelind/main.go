@@ -4,12 +4,16 @@
 // Usage:
 //
 //	zeppelind [-addr :8080] [-workers N] [-seeds N]
+//	          [-rate R] [-burst B] [-plan-rate R] [-campaign-rate R]
+//	          [-experiment-rate R] [-plan-cache N]
 //	zeppelind -version
 //
 // Routes (all under the v1 API revision):
 //
-//	GET  /healthz                   — liveness: {"status":"ok"}
+//	GET  /healthz                   — liveness: {"status":"ok"} (never rate limited)
 //	GET  /v1/version                — module version, Go version, API revision
+//	GET  /v1/stats                  — fleet counters: per-class admission
+//	                                  decisions, plan-cache hit rate, sessions by state
 //	POST /v1/plan                   — one-shot partition+remap plan of a
 //	                                  sampled batch (PlanRequest → PlanResponse)
 //	POST /v1/campaigns              — create a campaign session (CampaignRequest)
@@ -29,6 +33,24 @@
 // bit-identical at every worker count. Unknown /v1 routes and wrong
 // methods return the structured JSON error envelope
 // {"error":{"code":"...","message":"..."}}.
+//
+// -rate/-burst put a token-bucket admission controller in front of
+// every /v1 route: each traffic class (plan, campaign, experiment,
+// meta) gets an independent bucket admitting -rate requests/sec with
+// -burst slack, and over-rate requests are rejected with a structured
+// 429 ("rate_limited") carrying a Retry-After header before any
+// simulation work happens. -plan-rate/-campaign-rate/-experiment-rate
+// override -rate per class (negative means unlimited). The default
+// -rate 0 disables admission control.
+//
+// -plan-cache N (default 256, 0 to disable) shares an N-entry exact
+// plan cache across all plan requests and campaign sessions: identical
+// partition solves are computed once per process. Reuse is
+// bit-identical — responses never depend on cache state.
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight campaign streams are
+// cancelled between iterations, their sessions marked cancelled, and
+// the listener shuts down gracefully.
 package main
 
 import (
@@ -51,6 +73,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation slots; must be >= 1")
 	seeds := flag.Int("seeds", 3, "batches/campaigns averaged per experiment cell; must be >= 1")
+	rate := flag.Float64("rate", 0, "per-class admission rate in requests/sec; 0 disables admission control")
+	burst := flag.Int("burst", 8, "admission token-bucket depth per class")
+	planRate := flag.Float64("plan-rate", 0, "admission rate override for /v1/plan (0 inherits -rate, negative is unlimited)")
+	campaignRate := flag.Float64("campaign-rate", 0, "admission rate override for /v1/campaigns routes (0 inherits -rate, negative is unlimited)")
+	experimentRate := flag.Float64("experiment-rate", 0, "admission rate override for /v1/experiments (0 inherits -rate, negative is unlimited)")
+	planCache := flag.Int("plan-cache", zeppelin.DefaultPlanCacheEntries, "shared plan cache entries; 0 disables the cache")
 	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 	if *version {
@@ -64,14 +92,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(*workers, *seeds),
-		ReadHeaderTimeout: 10 * time.Second,
+	if *planCache < 0 {
+		fmt.Fprintln(os.Stderr, "zeppelind: -plan-cache must be >= 0")
+		flag.Usage()
+		os.Exit(2)
 	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newServer(ctx, serverConfig{
+			workers:          *workers,
+			seeds:            *seeds,
+			rate:             *rate,
+			burst:            *burst,
+			planRate:         *planRate,
+			campaignRate:     *campaignRate,
+			experimentRate:   *experimentRate,
+			planCacheEntries: *planCache,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -17,9 +17,15 @@ import (
 	"zeppelin/pkg/zeppelin"
 )
 
+// testConfig is the default server shape for tests: 2 workers, 1 seed,
+// no admission limits, shared plan cache on.
+func testConfig() serverConfig {
+	return serverConfig{workers: 2, seeds: 1, planCacheEntries: zeppelin.DefaultPlanCacheEntries}
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(2, 1))
+	ts := httptest.NewServer(newServer(context.Background(), testConfig()))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -409,7 +415,7 @@ func TestSessionDelete(t *testing.T) {
 // oldest drained sessions are dropped at creation time while live ones
 // survive.
 func TestFinishedSessionsAreEvicted(t *testing.T) {
-	srv := newServer(2, 1)
+	srv := newServer(context.Background(), testConfig())
 	srv.maxSessions = 2
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -437,7 +443,7 @@ func TestFinishedSessionsAreEvicted(t *testing.T) {
 // first, so repeated POST /v1/campaigns cannot grow the daemon without
 // bound — and an evicted reservation can no longer start streaming.
 func TestAbandonedCreatedSessionsAreEvicted(t *testing.T) {
-	srv := newServer(2, 1)
+	srv := newServer(context.Background(), testConfig())
 	srv.maxSessions = 2
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"zeppelin/pkg/zeppelin"
@@ -23,14 +26,44 @@ const maxBodyBytes = 1 << 20
 // DELETE /v1/campaigns/{id} reclaims one explicitly.
 const defaultMaxSessions = 256
 
+// serverConfig parameterizes the service beyond the worker pool: the
+// per-class admission rates and the shared plan cache size, all mapped
+// one to one from zeppelind's flags.
+type serverConfig struct {
+	// workers bounds concurrent simulation slots (and each request's
+	// internal pool); seeds is the per-cell averaging of experiments.
+	workers, seeds int
+	// rate is the default per-class admission rate in requests/sec; a
+	// non-positive rate disables admission for classes not overridden.
+	// burst is the shared bucket depth.
+	rate  float64
+	burst int
+	// planRate/campaignRate/experimentRate override rate per class
+	// (0 inherits, negative means unlimited).
+	planRate, campaignRate, experimentRate float64
+	// planCacheEntries bounds the shared plan cache; 0 disables it.
+	planCacheEntries int
+}
+
 // server is the zeppelind planning service: it multiplexes concurrent
 // plan, campaign, and experiment requests over a bounded pool of
 // simulation slots and owns the campaign session table.
 type server struct {
 	opts zeppelin.Options
+	// base is the daemon's lifetime context: cancelled on SIGTERM, it
+	// cancels every in-flight campaign session between iterations so
+	// graceful shutdown drains streams instead of severing them.
+	base context.Context
 	// sem bounds the number of requests simulating at once; each
 	// request's own grid additionally honors opts.Workers.
 	sem chan struct{}
+	// admission is the per-class token-bucket front door of every /v1
+	// route; over-rate requests get a structured 429 with Retry-After.
+	admission *zeppelin.Admission
+	// planCache is the process-wide shared plan tier (nil when
+	// disabled): plan requests and campaign sessions dedupe identical
+	// partition solves through it.
+	planCache *zeppelin.PlanCache
 	// planner answers /v1/plan; stateless, safe for concurrent use.
 	planner *zeppelin.Planner
 	mux     *http.ServeMux
@@ -83,33 +116,52 @@ func (s *session) status() sessionStatus {
 	}
 }
 
-// newServer builds the service. workers bounds the concurrent
-// simulation slots (and each request's pool); seeds is the per-cell
-// averaging the experiment endpoints use.
-func newServer(workers, seeds int) *server {
-	if workers < 1 {
-		workers = 1
+// newServer builds the service. ctx is the daemon lifetime: cancelling
+// it (SIGTERM in main) drains in-flight campaign streams between
+// iterations and marks their sessions cancelled.
+func newServer(ctx context.Context, cfg serverConfig) *server {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	s := &server{
-		opts:        zeppelin.Options{Seeds: seeds, Workers: workers},
-		sem:         make(chan struct{}, workers),
-		planner:     zeppelin.NewPlanner(),
+		opts: zeppelin.Options{Seeds: cfg.seeds, Workers: cfg.workers},
+		base: ctx,
+		sem:  make(chan struct{}, cfg.workers),
+		admission: zeppelin.NewAdmission(zeppelin.AdmissionConfig{
+			Rate:  cfg.rate,
+			Burst: cfg.burst,
+			ClassRate: map[zeppelin.AdmissionClass]float64{
+				zeppelin.AdmitPlan:       cfg.planRate,
+				zeppelin.AdmitCampaign:   cfg.campaignRate,
+				zeppelin.AdmitExperiment: cfg.experimentRate,
+			},
+		}),
 		maxSessions: defaultMaxSessions,
 		sessions:    make(map[string]*session),
 	}
+	if cfg.planCacheEntries > 0 {
+		s.planCache = zeppelin.NewPlanCache(cfg.planCacheEntries)
+	}
+	s.planner = zeppelin.NewPlanner(zeppelin.WithPlanCache(s.planCache))
 	mux := http.NewServeMux()
+	// /healthz stays unadmitted: load-balancer liveness probes must see
+	// the daemon alive even when every traffic class is saturated.
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
-	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
-	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDeleteCampaign)
-	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
-	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/version", s.admitted(zeppelin.AdmitMeta, s.handleVersion))
+	mux.HandleFunc("GET /v1/stats", s.admitted(zeppelin.AdmitMeta, s.handleStats))
+	mux.HandleFunc("POST /v1/plan", s.admitted(zeppelin.AdmitPlan, s.handlePlan))
+	mux.HandleFunc("POST /v1/campaigns", s.admitted(zeppelin.AdmitCampaign, s.handleCreateCampaign))
+	mux.HandleFunc("GET /v1/campaigns", s.admitted(zeppelin.AdmitCampaign, s.handleListCampaigns))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.admitted(zeppelin.AdmitCampaign, s.handleGetCampaign))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.admitted(zeppelin.AdmitCampaign, s.handleDeleteCampaign))
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.admitted(zeppelin.AdmitCampaign, s.handleCampaignEvents))
+	mux.HandleFunc("GET /v1/experiments/{name}", s.admitted(zeppelin.AdmitExperiment, s.handleExperiment))
 	// Wrong-method hits on known /v1 routes get a structured 405 (the
 	// method-specific patterns above win for matching methods) …
-	for _, p := range []string{"/v1/version", "/v1/plan", "/v1/campaigns",
+	for _, p := range []string{"/v1/version", "/v1/stats", "/v1/plan", "/v1/campaigns",
 		"/v1/campaigns/{id}", "/v1/campaigns/{id}/events", "/v1/experiments/{name}"} {
 		mux.HandleFunc(p, s.handleMethodNotAllowed)
 	}
@@ -120,16 +172,37 @@ func newServer(workers, seeds int) *server {
 	return s
 }
 
+// admitted wraps a handler behind one traffic class's token bucket.
+// Over-rate requests are rejected before any body parsing or simulation
+// work with the structured 429 envelope and a Retry-After header — the
+// overload signal admission control exists to give clients.
+func (s *server) admitted(class zeppelin.AdmissionClass, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retry := s.admission.Admit(class)
+		if !ok {
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "rate_limited",
+				"admission control: %s capacity exhausted, retry in %ds", class, secs)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // ServeHTTP makes the server an http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // acquire claims a simulation slot, honoring cancellation while queued.
-func (s *server) acquire(r *http.Request) error {
+func (s *server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
-	case <-r.Context().Done():
-		return r.Context().Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -158,6 +231,36 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, zeppelin.Version())
+}
+
+// statsBody is the GET /v1/stats payload: the fleet-facing counters —
+// per-class admission decisions, shared plan cache hit rate, and the
+// session table by state.
+type statsBody struct {
+	Admission []zeppelin.AdmissionStats `json:"admission"`
+	PlanCache *zeppelin.PlanCacheStats  `json:"plan_cache,omitempty"`
+	Sessions  map[string]int            `json:"sessions"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	body := statsBody{
+		Admission: s.admission.Stats(),
+		Sessions:  make(map[string]int),
+	}
+	if s.planCache != nil {
+		st := s.planCache.Stats()
+		body.PlanCache = &st
+	}
+	s.mu.Lock()
+	ordered := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		ordered = append(ordered, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range ordered {
+		body.Sessions[sess.status().State]++
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleUnknown(w http.ResponseWriter, r *http.Request) {
@@ -190,7 +293,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	if err := s.acquire(r); err != nil {
+	if err := s.acquire(r.Context()); err != nil {
 		return // client gone while queued
 	}
 	defer s.release()
@@ -207,7 +310,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	camp, err := zeppelin.NewCampaign(req)
+	camp, err := zeppelin.NewCampaign(req, zeppelin.WithCampaignPlanCache(s.planCache))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
@@ -347,9 +450,14 @@ func (s *server) handleDeleteCampaign(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCampaignEvents runs the session's campaign and streams one
-// NDJSON line per iteration. The stream honors client disconnect: the
-// request context cancels the campaign between iterations, the
-// session's planner work stops, and the session is marked cancelled.
+// NDJSON line per iteration. The stream stops between iterations on
+// either cancellation signal: client disconnect (the request context)
+// or daemon shutdown (the server's base context) — in both cases the
+// session's planner work stops and the session is marked cancelled. A
+// failed write is treated as a disconnect immediately: the handler
+// records the write error and stops producing events rather than
+// simulating and encoding the rest of the horizon into a dead
+// connection.
 func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookup(w, r)
 	if sess == nil {
@@ -366,18 +474,28 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	sess.state = "running"
 	sess.mu.Unlock()
 
+	// The session context merges both cancellation sources: the client
+	// vanishing cancels r.Context(), SIGTERM cancels s.base. Either one
+	// stops the campaign at the next iteration boundary, so graceful
+	// shutdown drains running streams (terminal state written, session
+	// marked cancelled) instead of killing them mid-write.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.base, cancel)
+	defer stop()
+
 	finish := func(state, msg string) {
 		sess.mu.Lock()
 		sess.state = state
 		sess.errMsg = msg
 		sess.mu.Unlock()
 	}
-	if err := s.acquire(r); err != nil {
+	if err := s.acquire(ctx); err != nil {
 		finish("cancelled", err.Error())
 		return
 	}
 	defer s.release()
-	if err := sess.camp.Start(r.Context()); err != nil {
+	if err := sess.camp.Start(ctx); err != nil {
 		finish("failed", err.Error())
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
@@ -386,15 +504,19 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var writeErr error
 	for {
 		ev, ok := sess.camp.Next()
 		if !ok {
 			break
 		}
 		if err := enc.Encode(ev); err != nil {
-			// The connection died mid-write; the next Next call will
-			// observe the cancelled request context and stop the stream.
-			continue
+			// The connection is dead: every further iteration would be
+			// simulated and encoded for nobody. Record the failure and
+			// stop producing events now.
+			writeErr = err
+			cancel()
+			break
 		}
 		sess.mu.Lock()
 		sess.events++
@@ -404,9 +526,11 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	switch err := sess.camp.Err(); {
+	case writeErr != nil:
+		finish("cancelled", "client disconnected: "+writeErr.Error())
 	case err == nil:
 		finish("done", "")
-	case r.Context().Err() != nil:
+	case ctx.Err() != nil:
 		finish("cancelled", err.Error())
 	default:
 		finish("failed", err.Error())
@@ -420,7 +544,7 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			"unknown experiment %q (want one of %v)", name, zeppelin.Experiments())
 		return
 	}
-	if err := s.acquire(r); err != nil {
+	if err := s.acquire(r.Context()); err != nil {
 		return
 	}
 	defer s.release()

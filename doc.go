@@ -7,14 +7,24 @@
 //   - pkg/zeppelin        — the versioned public v1 API: one-shot plan
 //     requests (Planner), iterator-style campaign streaming (Campaign,
 //     one simulated iteration per Next call), experiment regeneration
-//     by name, the planner fast-path bench, and build/version
-//     identification. Context-aware throughout (cancellation stops
-//     campaigns between iterations and grids between jobs) with the
-//     JSON wire schema pinned by golden tests. cmd/zeppelin is its
-//     reference client; cmd/zeppelind serves it over HTTP (POST
-//     /v1/plan, POST /v1/campaigns + NDJSON event streams honoring
-//     client disconnect, GET /v1/experiments/{name}, GET /v1/version,
-//     GET /healthz).
+//     by name, the planner fast-path bench, build/version
+//     identification, and the fleet-hardening layer: per-class
+//     token-bucket admission control (Admission, TokenBucket), the
+//     process-wide shared plan cache (PlanCache — exact full-solve
+//     reuse across plan requests and campaign sessions, bit-identical
+//     by construction), and the load-generation engine (RunLoad:
+//     paced plan RPS plus concurrent campaign streams, latency
+//     percentiles, benchfmt artifact). Context-aware throughout
+//     (cancellation stops campaigns between iterations and grids
+//     between jobs) with the JSON wire schema pinned by golden tests.
+//     cmd/zeppelin is its reference client; cmd/zeppelind serves it
+//     over HTTP (POST /v1/plan, POST /v1/campaigns + NDJSON event
+//     streams honoring client disconnect and SIGTERM drain, GET
+//     /v1/experiments/{name}, GET /v1/stats, GET /v1/version, GET
+//     /healthz — all /v1 routes behind admission control with
+//     structured 429s); cmd/zeppelin-loadgen drives fleet-shaped
+//     traffic at one or more replicas and verifies byte-identical
+//     plans on the way.
 //
 //   - internal/sim        — deterministic discrete-event simulator
 //
@@ -35,7 +45,9 @@
 //     reuse and, under a configured tolerance, delta patching of the
 //     previous plan (departures cut, arrivals greedily re-placed) with
 //     imbalance-drift self-regulation and full-solve fallback on any
-//     health or capacity change
+//     health or capacity change; SharedCache adds the process-wide
+//     tier behind it — a mutex-guarded LRU of full solves only (never
+//     patched plans), shared across planners with hit/miss counting
 //
 //   - internal/attention  — three-queue ring attention engine
 //
@@ -75,7 +87,8 @@
 //   - internal/trace      — Fig. 12-style timeline and campaign rendering
 //
 //   - internal/benchfmt   — benchmark-artifact JSON schema shared by the
-//     CI bench-regression gate (cmd/benchgate) and `zeppelin bench`
+//     CI bench-regression gate (cmd/benchgate), `zeppelin bench`, and
+//     zeppelin-loadgen's throughput artifact
 //
 // See README.md for a tour and DESIGN.md for the system inventory and the
 // per-experiment index.

@@ -70,10 +70,13 @@ type Counters struct {
 	Full    int `json:"full"`
 	Patched int `json:"patched"`
 	Cached  int `json:"cached"`
+	// Shared counts exact hits served from the process-wide shared tier
+	// (IncrementalConfig.Shared) instead of this planner's own cache.
+	Shared int `json:"shared,omitempty"`
 }
 
 // Plans returns the total number of Plan calls counted.
-func (c Counters) Plans() int { return c.Full + c.Patched + c.Cached }
+func (c Counters) Plans() int { return c.Full + c.Patched + c.Cached + c.Shared }
 
 // IncrementalConfig tunes the fast path.
 type IncrementalConfig struct {
@@ -96,6 +99,14 @@ type IncrementalConfig struct {
 	MaxPatchRun int
 	// CacheCap bounds the keyed plan cache (entries); <= 0 selects 16.
 	CacheCap int
+	// Shared, when set, is the process-wide plan cache tier: after a
+	// local cache miss (and before patching) the planner probes it for an
+	// exact full-solve hit, and every full solve it performs is published
+	// back. Shared holds full solves only — pure functions of the inputs
+	// — so hits are bit-identical to re-solving and the planner's
+	// determinism guarantees are unchanged. Nil keeps the planner fully
+	// private (the historical behavior).
+	Shared *SharedCache
 }
 
 // Fast-path defaults; see IncrementalConfig.
@@ -230,6 +241,20 @@ func (p *Incremental) Plan(cfg Config, batch []seq.Sequence) (*Result, PlanStats
 		return res, PlanStats{Mode: PlanCached}, nil
 	}
 
+	// Exact hit in the process-wide shared tier: another planner already
+	// full-solved these inputs. The result is bit-identical to solving
+	// here, so adopt it as this planner's patch base (its own imbalance is
+	// the drift anchor, exactly as a fresh full solve would set) and front
+	// it in the local cache.
+	if p.inc.Shared != nil {
+		if res, ok := p.inc.Shared.Get(cfg, batch); ok {
+			p.counters.Shared++
+			p.rebuildBase(cfg, res)
+			p.insertCache(key, cfg, batch, res)
+			return res, PlanStats{Mode: PlanCached}, nil
+		}
+	}
+
 	// Patch the previous plan when the delta is small and structural
 	// conditions hold. tryPatch installs the new base itself, so only the
 	// cache entry remains to store.
@@ -259,6 +284,12 @@ func (p *Incremental) Plan(cfg Config, batch []seq.Sequence) (*Result, PlanStats
 	// anchor (this solve's own imbalance, patchRun 0).
 	p.rebuildBase(cfg, res)
 	p.insertCache(key, cfg, batch, res)
+	// Full solves are pure functions of (cfg, batch): publish to the
+	// shared tier so concurrent requests and sessions dedupe the work.
+	// Patched plans above never publish — they are history-dependent.
+	if p.inc.Shared != nil {
+		p.inc.Shared.Put(cfg, batch, res)
+	}
 	return res, PlanStats{Mode: PlanFull}, nil
 }
 

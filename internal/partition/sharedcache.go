@@ -1,0 +1,179 @@
+// Shared plan cache: the fleet-wide tier above the per-planner LRU.
+// One zeppelind process serves many concurrent plan requests and
+// campaign sessions, and under fleet traffic the same (cluster view,
+// capacity, batch) inputs recur across them — identical curl bodies,
+// replayed campaign specs, many clients planning the same cell. The
+// per-Incremental cache cannot help there: each request and each
+// session owns its own planner. SharedCache is the process-wide exact
+// tier they all publish full solves into and probe before solving.
+//
+// Soundness rests on one invariant: the cache stores *full-solve
+// results only*. A full hierarchical solve is a pure function of
+// (Nodes, GPUsPerNode, CapacityTokens, Speeds, batch), so an exact hit
+// is bit-identical to re-solving — regardless of which planner, request,
+// or session produced the entry. Patched plans are history-dependent
+// (they drift from whatever base their planner happened to hold) and
+// are never published. Every hit therefore preserves the repo-wide
+// bit-identical-responses contract at any cache state and worker count.
+package partition
+
+import (
+	"hash/maphash"
+	"math"
+	"sync"
+
+	"zeppelin/internal/seq"
+)
+
+// DefaultSharedCap is the shared tier's entry bound when the configured
+// capacity is not positive.
+const DefaultSharedCap = 256
+
+// SharedCache is a concurrency-safe exact-key LRU of full-solve plans,
+// shared across planners. The zero value is unusable; build with
+// NewSharedCache. All methods are safe for concurrent use.
+type SharedCache struct {
+	mu      sync.Mutex
+	cap     int
+	seed    maphash.Seed
+	entries []sharedEntry // front = most recently used
+	hits    uint64
+	misses  uint64
+	keyBuf  []byte // hash scratch, guarded by mu
+}
+
+// sharedEntry is one published full solve plus the exact inputs that
+// produced it. Key collisions are survivable: every lookup re-compares
+// the full inputs, the hash only prunes.
+type sharedEntry struct {
+	key      uint64
+	nodes    int
+	perNode  int
+	capacity int
+	speeds   []float64
+	batch    []seq.Sequence
+	res      *Result
+}
+
+// SharedCacheStats is a point-in-time counter snapshot.
+type SharedCacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// NewSharedCache builds a shared tier bounded to cap entries
+// (DefaultSharedCap when cap <= 0).
+func NewSharedCache(cap int) *SharedCache {
+	if cap <= 0 {
+		cap = DefaultSharedCap
+	}
+	return &SharedCache{cap: cap, seed: maphash.MakeSeed()}
+}
+
+// Get returns the published full solve for the exact inputs, promoting
+// the entry to the front. Every call counts as a hit or a miss.
+func (c *SharedCache) Get(cfg Config, batch []seq.Sequence) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := c.hashLocked(cfg, batch)
+	if i := c.findLocked(key, cfg, batch); i >= 0 {
+		if i != 0 {
+			hit := c.entries[i]
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = hit
+		}
+		c.hits++
+		return c.entries[0].res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put publishes a full-solve result. The caller must only pass results
+// that are pure functions of (cfg, batch) — full solves, never patched
+// plans — and must treat res as immutable afterwards. A concurrent
+// duplicate publish (two planners solving the same key at once) is
+// deduplicated rather than stored twice.
+func (c *SharedCache) Put(cfg Config, batch []seq.Sequence, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := c.hashLocked(cfg, batch)
+	if i := c.findLocked(key, cfg, batch); i >= 0 {
+		if i != 0 {
+			hit := c.entries[i]
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = hit
+		}
+		return
+	}
+	e := sharedEntry{
+		key:      key,
+		nodes:    cfg.Cluster.Nodes,
+		perNode:  cfg.Cluster.GPUsPerNode,
+		capacity: cfg.CapacityTokens,
+		speeds:   copyF(cfg.Speeds),
+		batch:    append([]seq.Sequence(nil), batch...),
+		res:      res,
+	}
+	if len(c.entries) < c.cap {
+		c.entries = append(c.entries, sharedEntry{})
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = e
+}
+
+// Stats snapshots the counters.
+func (c *SharedCache) Stats() SharedCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SharedCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Capacity: c.cap}
+}
+
+// findLocked scans for an exact match. Unlike the per-planner cache's
+// world-level check, the node split is compared explicitly: a 2×8 and a
+// 4×4 cluster share a world of 16 but bucket sequences differently, and
+// a shared tier sees both shapes.
+func (c *SharedCache) findLocked(key uint64, cfg Config, batch []seq.Sequence) int {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.key != key || e.nodes != cfg.Cluster.Nodes || e.perNode != cfg.Cluster.GPUsPerNode ||
+			e.capacity != cfg.CapacityTokens {
+			continue
+		}
+		if !sameSpeeds(e.speeds, cfg.Speeds) || !sameBatch(e.batch, batch) {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// hashLocked folds the node shape, capacity, speed view, and batch into
+// one flat-buffer hash (the same fields findLocked compares exactly).
+func (c *SharedCache) hashLocked(cfg Config, batch []seq.Sequence) uint64 {
+	need := 8 * (4 + len(cfg.Speeds) + 1 + 2*len(batch))
+	if cap(c.keyBuf) < need {
+		c.keyBuf = make([]byte, need)
+	}
+	b := c.keyBuf[:0]
+	put := func(u uint64) {
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	put(uint64(cfg.Cluster.Nodes))
+	put(uint64(cfg.Cluster.GPUsPerNode))
+	put(uint64(cfg.CapacityTokens))
+	put(uint64(len(cfg.Speeds)))
+	for _, s := range cfg.Speeds {
+		put(math.Float64bits(s))
+	}
+	put(uint64(len(batch)))
+	for _, s := range batch {
+		put(uint64(s.ID))
+		put(uint64(s.Len))
+	}
+	c.keyBuf = b
+	return maphash.Bytes(c.seed, b)
+}

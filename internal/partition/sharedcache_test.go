@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/seq"
+)
+
+// TestSharedCacheCrossPlannerHit: a full solve published by one planner
+// serves another planner's identical request bit-identically, counted as
+// a shared hit on the consumer and exactly one miss on the producer.
+func TestSharedCacheCrossPlannerHit(t *testing.T) {
+	cfg := incCell(t)
+	rng := rand.New(rand.NewSource(7))
+	batch := sampleBatch(cfg, rng, 0.8)
+	shared := NewSharedCache(8)
+
+	producer := NewIncremental(IncrementalConfig{Shared: shared})
+	res1, st1 := mustPlan(t, producer, cfg, batch)
+	if st1.Mode != PlanFull {
+		t.Fatalf("producer mode = %s, want full", st1.Mode)
+	}
+
+	consumer := NewIncremental(IncrementalConfig{Shared: shared})
+	res2, st2 := mustPlan(t, consumer, cfg, batch)
+	if st2.Mode != PlanCached {
+		t.Fatalf("consumer mode = %s, want cached (shared hit)", st2.Mode)
+	}
+	if res2 != res1 {
+		t.Fatal("shared hit returned a different Result than the published solve")
+	}
+	if c := consumer.Counters(); c.Shared != 1 || c.Full != 0 {
+		t.Fatalf("consumer counters = %+v, want exactly one shared hit", c)
+	}
+
+	// The shared result matches an independent stateless solve.
+	part, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := part.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Plan.TokensPerRank(), want.Plan.TokensPerRank()) {
+		t.Fatalf("shared plan layout %v != stateless solve %v",
+			res2.Plan.TokensPerRank(), want.Plan.TokensPerRank())
+	}
+
+	st := shared.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("shared stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestSharedCacheDistinguishesNodeSplit: a 2×8 and a 4×4 cluster share a
+// world of 16 but bucket sequences differently — the shared tier must
+// never serve one shape's plan to the other.
+func TestSharedCacheDistinguishesNodeSplit(t *testing.T) {
+	spec44 := cluster.ClusterA
+	spec44.GPUsPerNode = 4
+	spec44.NICsPerNode = 2
+	cfg28 := Config{Cluster: cluster.MustNew(cluster.ClusterA, 2), CapacityTokens: 5120}
+	cfg44 := Config{Cluster: cluster.MustNew(spec44, 4), CapacityTokens: 5120}
+	rng := rand.New(rand.NewSource(11))
+	batch := sampleBatch(cfg28, rng, 0.8)
+
+	shared := NewSharedCache(8)
+	p1 := NewIncremental(IncrementalConfig{Shared: shared})
+	if _, st := mustPlan(t, p1, cfg28, batch); st.Mode != PlanFull {
+		t.Fatalf("first shape mode = %s, want full", st.Mode)
+	}
+	p2 := NewIncremental(IncrementalConfig{Shared: shared})
+	if _, st := mustPlan(t, p2, cfg44, batch); st.Mode != PlanFull {
+		t.Fatalf("4x4 shape served the 2x8 plan: mode = %s, want full", st.Mode)
+	}
+	if st := shared.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (one per node shape)", st.Entries)
+	}
+}
+
+// TestSharedCacheSpeedViewsAreDistinct: plans solved under a degraded
+// effective-speed view never answer healthy requests (and vice versa).
+func TestSharedCacheSpeedViewsAreDistinct(t *testing.T) {
+	cfg := incCell(t)
+	rng := rand.New(rand.NewSource(13))
+	batch := sampleBatch(cfg, rng, 0.8)
+
+	degraded := cfg
+	degraded.Speeds = make([]float64, cfg.Cluster.World())
+	for i := range degraded.Speeds {
+		degraded.Speeds[i] = 1
+	}
+	degraded.Speeds[0] = 0.4
+
+	shared := NewSharedCache(8)
+	p := NewIncremental(IncrementalConfig{Shared: shared})
+	mustPlan(t, p, cfg, batch)
+	q := NewIncremental(IncrementalConfig{Shared: shared})
+	if _, st := mustPlan(t, q, degraded, batch); st.Mode != PlanFull {
+		t.Fatalf("degraded view hit the healthy entry: mode = %s", st.Mode)
+	}
+}
+
+// TestSharedCacheLRUEviction: the tier is bounded; the oldest entry
+// falls out once the cap is exceeded.
+func TestSharedCacheLRUEviction(t *testing.T) {
+	cfg := incCell(t)
+	rng := rand.New(rand.NewSource(17))
+	shared := NewSharedCache(2)
+
+	batches := make([][]seq.Sequence, 3)
+	for i := range batches {
+		batches[i] = sampleBatch(cfg, rng, 0.5+0.1*float64(i))
+		p := NewIncremental(IncrementalConfig{Shared: shared})
+		mustPlan(t, p, cfg, batches[i])
+	}
+	if st := shared.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want cap 2", st.Entries)
+	}
+	if _, ok := shared.Get(cfg, batches[0]); ok {
+		t.Fatal("oldest entry survived past the cap")
+	}
+	if _, ok := shared.Get(cfg, batches[2]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+// TestSharedCacheConcurrentPlanners: many goroutines, each with a
+// private planner, hammer a small set of keys through one shared tier.
+// Every result must equal the reference stateless solve for its batch —
+// the bit-identical contract under concurrency (and the race detector
+// covers the locking).
+func TestSharedCacheConcurrentPlanners(t *testing.T) {
+	cfg := incCell(t)
+	rng := rand.New(rand.NewSource(19))
+	const keys = 4
+	batches := make([][]seq.Sequence, keys)
+	wantLayouts := make([][]int, keys)
+	for i := range batches {
+		batches[i] = sampleBatch(cfg, rng, 0.5+0.08*float64(i))
+		part, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := part.Plan(batches[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLayouts[i] = res.Plan.TokensPerRank()
+	}
+
+	shared := NewSharedCache(8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewIncremental(IncrementalConfig{Shared: shared})
+			for i := 0; i < 16; i++ {
+				k := (g + i) % keys
+				res, _, err := p.Plan(cfg, batches[k])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Plan.TokensPerRank(), wantLayouts[k]) {
+					t.Errorf("goroutine %d key %d: layout diverged", g, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := shared.Stats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("shared tier unused under concurrency: %+v", st)
+	}
+}

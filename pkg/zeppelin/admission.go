@@ -1,0 +1,166 @@
+package zeppelin
+
+import (
+	"sync"
+	"time"
+)
+
+// AdmissionClass partitions /v1 traffic for admission control. Each
+// class owns an independent token bucket, so a flood of one traffic
+// kind (a runaway campaign client, a plan benchmark) exhausts its own
+// budget without starving the others.
+type AdmissionClass string
+
+// The four /v1 traffic classes zeppelind admits independently.
+const (
+	// AdmitPlan covers POST /v1/plan — the high-rate stateless tier.
+	AdmitPlan AdmissionClass = "plan"
+	// AdmitCampaign covers every /v1/campaigns route: session create,
+	// status, listing, delete, and the NDJSON events stream.
+	AdmitCampaign AdmissionClass = "campaign"
+	// AdmitExperiment covers GET /v1/experiments/{name} — the heavy
+	// grid-regeneration tier.
+	AdmitExperiment AdmissionClass = "experiment"
+	// AdmitMeta covers the cheap metadata routes (/v1/version,
+	// /v1/stats).
+	AdmitMeta AdmissionClass = "meta"
+)
+
+// AdmissionClasses lists the classes in reporting order.
+func AdmissionClasses() []AdmissionClass {
+	return []AdmissionClass{AdmitPlan, AdmitCampaign, AdmitExperiment, AdmitMeta}
+}
+
+// TokenBucket is a concurrency-safe token bucket: capacity `burst`
+// tokens, refilled continuously at `rate` tokens per second. Allow
+// consumes one token; when the bucket is empty it reports how long
+// until one accrues — the Retry-After a 429 should carry.
+type TokenBucket struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 means unlimited
+	burst   float64
+	tokens  float64
+	last    time.Time
+	now     func() time.Time // injectable for deterministic tests
+	allowed uint64
+	denied  uint64
+}
+
+// NewTokenBucket builds a bucket admitting `rate` requests per second
+// with up to `burst` of slack. A non-positive rate builds an unlimited
+// bucket (every Allow succeeds); a non-positive burst is raised to 1 so
+// a positive rate can ever admit.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}
+}
+
+// Allow consumes one token if available. When denied, retryAfter is the
+// time until the next token accrues — never zero, so clients always
+// back off by a measurable amount.
+func (b *TokenBucket) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		b.allowed++
+		return true, 0
+	}
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.allowed++
+		return true, 0
+	}
+	b.denied++
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Nanosecond
+	}
+	return false, wait
+}
+
+// Counts snapshots the admitted/denied totals.
+func (b *TokenBucket) Counts() (allowed, denied uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allowed, b.denied
+}
+
+// AdmissionConfig sets the per-class token-bucket parameters.
+type AdmissionConfig struct {
+	// Rate is the default per-class admission rate in requests per
+	// second. A non-positive rate disables admission control for every
+	// class not explicitly overridden.
+	Rate float64
+	// Burst is the bucket depth shared by every class (minimum 1 when a
+	// rate is set).
+	Burst int
+	// ClassRate overrides Rate for specific classes. An override of 0 is
+	// ignored (the class inherits Rate); a negative override makes that
+	// class unlimited.
+	ClassRate map[AdmissionClass]float64
+}
+
+// Admission is the per-class token-bucket admission controller guarding
+// zeppelind's /v1 routes. Safe for concurrent use.
+type Admission struct {
+	buckets map[AdmissionClass]*TokenBucket
+}
+
+// NewAdmission builds one bucket per traffic class from the config.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	a := &Admission{buckets: make(map[AdmissionClass]*TokenBucket)}
+	for _, class := range AdmissionClasses() {
+		rate := cfg.Rate
+		if r, ok := cfg.ClassRate[class]; ok && r != 0 {
+			rate = r
+		}
+		a.buckets[class] = NewTokenBucket(rate, cfg.Burst)
+	}
+	return a
+}
+
+// Admit consumes one token from the class's bucket. Unknown classes are
+// admitted (admission never turns a routing bug into an outage).
+func (a *Admission) Admit(class AdmissionClass) (ok bool, retryAfter time.Duration) {
+	b := a.buckets[class]
+	if b == nil {
+		return true, 0
+	}
+	return b.Allow()
+}
+
+// AdmissionStats is one class's counter snapshot in /v1/stats.
+type AdmissionStats struct {
+	Class   AdmissionClass `json:"class"`
+	Allowed uint64         `json:"allowed"`
+	Denied  uint64         `json:"denied"`
+}
+
+// Stats snapshots every class's counters in reporting order.
+func (a *Admission) Stats() []AdmissionStats {
+	out := make([]AdmissionStats, 0, len(a.buckets))
+	for _, class := range AdmissionClasses() {
+		b := a.buckets[class]
+		if b == nil {
+			continue
+		}
+		allowed, denied := b.Counts()
+		out = append(out, AdmissionStats{Class: class, Allowed: allowed, Denied: denied})
+	}
+	return out
+}

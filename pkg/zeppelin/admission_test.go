@@ -1,0 +1,149 @@
+package zeppelin
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a TokenBucket deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBucket(rate float64, burst int) (*TokenBucket, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewTokenBucket(rate, burst)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestTokenBucketBurstThenDeny: a fresh bucket admits exactly its burst
+// back to back, then denies with a positive Retry-After.
+func TestTokenBucketBurstThenDeny(t *testing.T) {
+	b, _ := testBucket(10, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("request %d inside burst denied", i)
+		}
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	// One token accrues in 1/rate = 100ms.
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 100ms]", retry)
+	}
+	allowed, denied := b.Counts()
+	if allowed != 3 || denied != 1 {
+		t.Fatalf("counts = %d/%d, want 3 allowed / 1 denied", allowed, denied)
+	}
+}
+
+// TestTokenBucketRefills: after Retry-After elapses, the next request is
+// admitted; refill never exceeds the burst.
+func TestTokenBucketRefills(t *testing.T) {
+	b, clk := testBucket(10, 2)
+	b.Allow()
+	b.Allow()
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.advance(100 * time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("bucket did not refill after 1/rate")
+	}
+	// A long idle period refills to burst (2), not beyond.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Allow(); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after long idle, want burst cap 2", admitted)
+	}
+}
+
+// TestTokenBucketUnlimited: a non-positive rate admits everything.
+func TestTokenBucketUnlimited(t *testing.T) {
+	b, _ := testBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+}
+
+// TestAdmissionClassesAreIndependent: exhausting one class's bucket
+// leaves the others admitting, and overrides replace the default rate.
+func TestAdmissionClassesAreIndependent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		Rate:  1000,
+		Burst: 2,
+		ClassRate: map[AdmissionClass]float64{
+			AdmitPlan: 0.001, // effectively one request, then denials
+			AdmitMeta: -1,    // unlimited
+		},
+	})
+	if ok, _ := a.Admit(AdmitPlan); !ok {
+		t.Fatal("first plan request denied")
+	}
+	if ok, _ := a.Admit(AdmitPlan); !ok {
+		t.Fatal("plan burst of 2 denied early")
+	}
+	ok, retry := a.Admit(AdmitPlan)
+	if ok {
+		t.Fatal("plan class not exhausted after burst")
+	}
+	if retry <= 0 {
+		t.Fatalf("retry-after = %v, want positive", retry)
+	}
+	// Campaign still has its full burst despite plan's exhaustion.
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.Admit(AdmitCampaign); !ok {
+			t.Fatal("campaign class starved by plan exhaustion")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if ok, _ := a.Admit(AdmitMeta); !ok {
+			t.Fatal("unlimited meta class denied")
+		}
+	}
+
+	stats := a.Stats()
+	byClass := make(map[AdmissionClass]AdmissionStats)
+	for _, s := range stats {
+		byClass[s.Class] = s
+	}
+	if s := byClass[AdmitPlan]; s.Allowed != 2 || s.Denied != 1 {
+		t.Fatalf("plan stats = %+v, want 2 allowed / 1 denied", s)
+	}
+	if s := byClass[AdmitMeta]; s.Allowed != 10 || s.Denied != 0 {
+		t.Fatalf("meta stats = %+v", s)
+	}
+}
+
+// TestAdmissionUnknownClassAdmitted: a routing bug must not become an
+// outage.
+func TestAdmissionUnknownClassAdmitted(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Rate: 0.001, Burst: 1})
+	if ok, _ := a.Admit(AdmissionClass("mystery")); !ok {
+		t.Fatal("unknown class denied")
+	}
+}

@@ -42,11 +42,31 @@ type Campaign struct {
 	st *campaign.Stream
 }
 
+// CampaignOption configures NewCampaign beyond the wire request.
+type CampaignOption func(*campaignOptions)
+
+type campaignOptions struct {
+	cache *PlanCache
+}
+
+// WithCampaignPlanCache wires the campaign's session-owned planner to a
+// process-wide shared plan cache: exact full-solve results are probed
+// and published across sessions and plan requests. Reuse is
+// bit-identical, so the event stream does not depend on cache state. A
+// nil cache is ignored.
+func WithCampaignPlanCache(c *PlanCache) CampaignOption {
+	return func(o *campaignOptions) { o.cache = c }
+}
+
 // NewCampaign resolves the request into a runnable campaign. The
 // request's method instance — including the incremental planner when
 // requested — is owned by this campaign alone.
-func NewCampaign(req CampaignRequest) (*Campaign, error) {
-	cfg, err := req.config()
+func NewCampaign(req CampaignRequest, opts ...CampaignOption) (*Campaign, error) {
+	var o campaignOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg, err := req.configWith(o.cache)
 	if err != nil {
 		return nil, err
 	}

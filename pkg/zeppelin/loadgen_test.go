@@ -1,0 +1,139 @@
+package zeppelin
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon fakes just enough of the zeppelind wire protocol for
+// loadgen accounting tests: a plan route scripted per request and a
+// campaign flow that streams the requested horizon.
+func stubDaemon(plan http.HandlerFunc) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", plan)
+	var nextID atomic.Int64
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		id := nextID.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":"c%d","state":"created","iters":3,"events_url":"/v1/campaigns/c%d/events"}`, id, id)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"iter":%d}`+"\n", i)
+		}
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestRunLoadAccounting drives the stub with a plan route that rotates
+// ok / 429 / 500 and checks every counter lands in the right bucket —
+// including that the two distinct OK bodies are caught by the
+// byte-identity check.
+func TestRunLoadAccounting(t *testing.T) {
+	var n atomic.Int64
+	ts := stubDaemon(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 3 {
+		case 1:
+			fmt.Fprint(w, `{"world":16,"variant":"a"}`)
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"rate_limited","message":"slow down"}}`)
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"world":16,"variant":"b"}`)
+		}
+	})
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addrs:         []string{ts.URL},
+		Duration:      300 * time.Millisecond,
+		PlanRPS:       100,
+		Campaigns:     2,
+		CampaignIters: 3,
+		Client:        ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PlanRequests == 0 {
+		t.Fatal("no plan traffic was offered")
+	}
+	if rep.PlanRequests != rep.PlanOK+rep.PlanRateLimited+rep.PlanErrors {
+		t.Fatalf("accounting leak: %d sent != %d ok + %d 429 + %d errors",
+			rep.PlanRequests, rep.PlanOK, rep.PlanRateLimited, rep.PlanErrors)
+	}
+	if rep.PlanOK == 0 || rep.PlanRateLimited == 0 {
+		t.Fatalf("rotation missed a bucket: %+v", rep)
+	}
+	if rep.PlanLatency.Count != rep.PlanOK {
+		t.Fatalf("latency samples %d != %d admitted plans", rep.PlanLatency.Count, rep.PlanOK)
+	}
+	if rep.PlanLatency.P50Ms <= 0 || rep.PlanLatency.P99Ms < rep.PlanLatency.P50Ms {
+		t.Fatalf("latency summary inconsistent: %+v", rep.PlanLatency)
+	}
+	if rep.PlansPerSec <= 0 {
+		t.Fatalf("plans/sec = %v", rep.PlansPerSec)
+	}
+	// The stub alternates two OK payloads: the identity check must see 2.
+	if rep.UniquePlanBodies != 2 {
+		t.Fatalf("unique plan bodies = %d, want 2 from the two stub variants", rep.UniquePlanBodies)
+	}
+	if rep.CampaignStreams != 2 || rep.CampaignEvents != 6 || rep.CampaignErrors != 0 {
+		t.Fatalf("campaign accounting = %+v", rep)
+	}
+}
+
+// TestRunLoadBenchfmt: the artifact carries the gateable series with
+// goodput encoded as ns/plan.
+func TestRunLoadBenchfmt(t *testing.T) {
+	rep := &LoadReport{
+		PlanOK:          500,
+		PlansPerSec:     250,
+		DurationSec:     2,
+		PlanLatency:     LatencySummary{Count: 500, P50Ms: 1, P95Ms: 2, P99Ms: 3},
+		CampaignStreams: 2, CampaignEvents: 20,
+	}
+	f := rep.Benchfmt()
+	plan := f.Get("BenchmarkLoadgenPlan")
+	if plan == nil {
+		t.Fatal("artifact missing BenchmarkLoadgenPlan")
+	}
+	if plan.NsPerOp != 1e9/250 {
+		t.Fatalf("ns/op = %v, want 1e9/250", plan.NsPerOp)
+	}
+	if plan.Metrics["plans-per-sec"] != 250 || plan.Metrics["p99-ms"] != 3 {
+		t.Fatalf("metrics = %v", plan.Metrics)
+	}
+	if f.Get("BenchmarkLoadgenCampaignEvents") == nil {
+		t.Fatal("artifact missing BenchmarkLoadgenCampaignEvents")
+	}
+}
+
+// TestRunLoadValidation: nonsense configs fail fast with a message that
+// names the bad knob.
+func TestRunLoadValidation(t *testing.T) {
+	cases := []struct {
+		cfg  LoadConfig
+		want string
+	}{
+		{LoadConfig{}, "replica address"},
+		{LoadConfig{Addrs: []string{"http://x"}}, "plan traffic, campaign streams"},
+		{LoadConfig{Addrs: []string{"http://x"}, PlanRPS: -1}, "RPS"},
+		{LoadConfig{Addrs: []string{"http://x"}, PlanRPS: 10}, "duration"},
+	}
+	for _, c := range cases {
+		_, err := RunLoad(context.Background(), c.cfg)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("config %+v: err = %v, want mention of %q", c.cfg, err, c.want)
+		}
+	}
+}

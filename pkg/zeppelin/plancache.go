@@ -1,0 +1,55 @@
+package zeppelin
+
+import (
+	"zeppelin/internal/partition"
+)
+
+// DefaultPlanCacheEntries is the shared plan cache's entry bound when
+// NewPlanCache is given a non-positive capacity.
+const DefaultPlanCacheEntries = partition.DefaultSharedCap
+
+// PlanCache is the process-wide shared plan cache tier: a
+// concurrency-safe, hit/miss-counting LRU of solved partition plans
+// keyed by the exact planning inputs (node shape, per-device capacity,
+// effective-speed view, and batch). One PlanCache is shared across
+// every plan request and campaign session wired to it, so identical
+// cluster/workload specs dedupe the partition solve fleet-wide.
+//
+// Only full solves — pure functions of the inputs — are ever stored, so
+// a cache hit is bit-identical to re-solving: responses do not depend
+// on cache state, worker count, or which request populated the entry.
+type PlanCache struct {
+	shared *partition.SharedCache
+}
+
+// PlanCacheStats is a point-in-time snapshot of the cache counters —
+// the payload zeppelind's /v1/stats reports under "plan_cache".
+type PlanCacheStats struct {
+	// Hits and Misses count exact-key probes since process start.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Entries is the current resident plan count, bounded by Capacity.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// NewPlanCache builds a shared plan cache bounded to `entries` plans
+// (DefaultPlanCacheEntries when entries <= 0).
+func NewPlanCache(entries int) *PlanCache {
+	return &PlanCache{shared: partition.NewSharedCache(entries)}
+}
+
+// Stats snapshots the hit/miss counters.
+func (p *PlanCache) Stats() PlanCacheStats {
+	s := p.shared.Stats()
+	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Capacity: s.Capacity}
+}
+
+// sharedTier unwraps the internal cache; nil-safe so call sites can
+// plumb an optional *PlanCache straight through.
+func (p *PlanCache) sharedTier() *partition.SharedCache {
+	if p == nil {
+		return nil
+	}
+	return p.shared
+}

@@ -22,6 +22,11 @@ type Planner struct {
 	// first Zeppelin plan and reused across calls so repeated or
 	// slightly-churned batches hit its plan cache.
 	inc *zep.Incremental
+	// cache is the optional process-wide shared plan tier. Without
+	// WithIncremental, each Zeppelin Plan call probes it through a
+	// call-owned exact-mode planner — concurrent requests never
+	// serialize, and responses stay bit-identical at every cache state.
+	cache *PlanCache
 }
 
 // PlannerOption configures NewPlanner.
@@ -32,6 +37,17 @@ type PlannerOption func(*Planner)
 // Plan calls, bit-identical plans, PlanMode reported in responses.
 func WithIncremental() PlannerOption {
 	return func(p *Planner) { p.incremental = true }
+}
+
+// WithPlanCache shares a process-wide plan cache tier across this
+// planner's Zeppelin plans. Exact repeats of (cluster view, capacity,
+// batch) reuse the solved partition plan instead of re-solving; hits
+// are bit-identical to full solves, so responses are unchanged by cache
+// state. Unlike WithIncremental, cache-backed stateless plans do not
+// serialize concurrent callers and do not report PlanMode (a response
+// must not leak whether the cache was warm). A nil cache is ignored.
+func WithPlanCache(c *PlanCache) PlannerOption {
+	return func(p *Planner) { p.cache = c }
 }
 
 // NewPlanner builds a planner; see the options for behavior switches.
@@ -50,17 +66,28 @@ func (p *Planner) method(req PlanRequest) (trainer.Method, *zep.Incremental, err
 	if err != nil {
 		return nil, nil, err
 	}
-	if !p.incremental {
-		return m, nil, nil
-	}
 	zm, ok := m.(zep.Method)
 	if !ok {
+		return m, nil, nil
+	}
+	if !p.incremental {
+		if p.cache != nil {
+			// Call-owned exact-mode planner over the shared tier: probes
+			// and publishes full solves, holds no cross-call state, and
+			// therefore needs no planner lock. Exact mode keeps the result
+			// bit-identical to the stateless solve.
+			return zep.NewIncremental(zm, partition.IncrementalConfig{
+				Shared: p.cache.sharedTier(),
+			}), nil, nil
+		}
 		return m, nil, nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.inc == nil {
-		p.inc = zep.NewIncremental(zm, partition.IncrementalConfig{})
+		p.inc = zep.NewIncremental(zm, partition.IncrementalConfig{
+			Shared: p.cache.sharedTier(),
+		})
 	}
 	return p.inc, p.inc, nil
 }

@@ -306,7 +306,15 @@ type CampaignRequest struct {
 // config resolves the request into an internal campaign configuration.
 // Each call builds a fresh method instance, so an incremental planner is
 // owned by exactly one campaign.
-func (r CampaignRequest) config() (campaign.Config, error) {
+func (r CampaignRequest) config() (campaign.Config, error) { return r.configWith(nil) }
+
+// configWith is config with an optional shared plan cache tier: the
+// campaign's planner (always session-owned) probes it for exact
+// full-solve hits and publishes its own, so identical campaign specs
+// running in other sessions — or identical one-shot plan requests —
+// dedupe the partition work. Exact-mode reuse is bit-identical, so the
+// event stream is unchanged by cache state.
+func (r CampaignRequest) configWith(pc *PlanCache) (campaign.Config, error) {
 	if r.Iters < 1 {
 		return campaign.Config{}, fmt.Errorf("zeppelin: campaign iters must be >= 1, got %d", r.Iters)
 	}
@@ -326,10 +334,12 @@ func (r CampaignRequest) config() (campaign.Config, error) {
 	if err != nil {
 		return campaign.Config{}, err
 	}
-	if r.Incremental {
-		if zm, ok := m.(zep.Method); ok {
-			m = zep.NewIncremental(zm, partition.IncrementalConfig{})
-		}
+	if zm, ok := m.(zep.Method); ok && (r.Incremental || pc != nil) {
+		// The incremental wrapper serves two roles: the request-level
+		// Incremental fast path, and (for any Zeppelin campaign when a
+		// shared tier is wired) the probe/publish front of the
+		// process-wide plan cache. Exact mode either way: bit-identical.
+		m = zep.NewIncremental(zm, partition.IncrementalConfig{Shared: pc.sharedTier()})
 	}
 	seed := r.Seed
 	if seed == 0 {
@@ -509,8 +519,10 @@ type ErrorBody struct {
 }
 
 // ErrorDetail carries a stable machine-readable code ("bad_request",
-// "not_found", "method_not_allowed", "conflict", "internal") and a
-// human-readable message.
+// "not_found", "method_not_allowed", "conflict", "rate_limited",
+// "internal") and a human-readable message. A "rate_limited" error
+// rides a 429 response whose Retry-After header says how many seconds
+// to back off.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
