@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"zeppelin/internal/baselines"
+	"zeppelin/internal/campaign"
 	"zeppelin/internal/cluster"
+	"zeppelin/internal/decision"
 	"zeppelin/internal/experiments"
 	"zeppelin/internal/model"
 	"zeppelin/internal/partition"
@@ -369,6 +371,52 @@ func BenchmarkFig15ScalingSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(experiments.Fig15ScalingSpeedup(res), "speedup-1024-ranks-x")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Decision-tracing overhead: the same campaign with and without a
+// decision trace attached. CI gates BenchmarkDecisionOverhead at ≤5%
+// ns/op over BenchmarkDecisionBaseline (benchgate -ratio), so recording
+// every replan/admission/placement choice stays effectively free.
+// ---------------------------------------------------------------------
+
+// decisionBenchIters keeps one campaign run ~tens of milliseconds: long
+// enough that per-iteration record allocations would show up, short
+// enough for -count 5 sampling in CI.
+const decisionBenchIters = 30
+
+func decisionBenchConfig(tr *decision.Trace) campaign.Config {
+	return campaign.Config{
+		Trainer: trainer.Config{
+			Model: model.LLaMA3B, Spec: cluster.ClusterA, Nodes: 1, TP: 1,
+			TokensPerGPU: 4096, Seed: 11,
+		},
+		Method:    zep.FullIncremental(),
+		Iters:     decisionBenchIters,
+		Arrival:   campaign.Drift{Path: []workload.Dataset{workload.ArXiv, workload.GitHub}, Iters: decisionBenchIters},
+		Policy:    campaign.Threshold{Ratio: 1.3},
+		Decisions: tr,
+	}
+}
+
+func BenchmarkDecisionBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(context.Background(), decisionBenchConfig(nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecisionOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := &decision.Trace{}
+		if _, err := campaign.Run(context.Background(), decisionBenchConfig(tr)); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			b.Fatal("trace recorded nothing")
+		}
 	}
 }
 

@@ -24,6 +24,16 @@
 // with -update (or locally via the README recipe) to re-cover them.
 // Aggregation across -count samples takes the minimum ns/op, the
 // least-noise statistic for threshold gating.
+//
+// -ratio 'A/B' gates two benchmarks from the SAME run against each
+// other instead of against a checked-in baseline: fail when A's ns/op
+// exceeds B's by more than the threshold. Because both sides come from
+// one process on one machine, the gate is hardware-independent — it is
+// how CI pins decision-tracing overhead (BenchmarkDecisionOverhead /
+// BenchmarkDecisionBaseline ≤ 1.05) without a stored artifact:
+//
+//	go test -run XXX -bench 'Decision(Baseline|Overhead)' -count 5 . | \
+//	    benchgate -ratio 'BenchmarkDecisionOverhead/BenchmarkDecisionBaseline' -threshold 0.05
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"strings"
 	"unicode"
 
 	"zeppelin/internal/benchfmt"
@@ -49,6 +60,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline artifact to gate against (skip gating when empty)")
 	threshold := flag.Float64("threshold", 0.15, "allowed ns/op growth fraction before failing (0.15 = +15%)")
 	gate := flag.String("gate", DefaultGate, "regexp of benchmark names the gate applies to")
+	ratio := flag.String("ratio", "", "gate benchmark A against B from the same run, as 'A/B' (baseline-free)")
 	update := flag.Bool("update", false, "rewrite -baseline from the current input instead of gating")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -87,6 +99,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchgate: wrote %d results to %s\n", len(cur.Results), *emit)
+	}
+	if *ratio != "" {
+		if err := gateRatio(cur, *ratio, *threshold); err != nil {
+			fatal(err)
+		}
 	}
 	if *baseline == "" {
 		return
@@ -129,6 +146,34 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) within +%.0f%% of baseline\n",
 		gated, *threshold*100)
+}
+
+// gateRatio enforces a same-run ratio gate: spec is "A/B", and A's
+// ns/op must not exceed B's by more than the threshold fraction. Both
+// benchmarks must be present in the current results — unlike baseline
+// gating there is no skip path, because a missing side means the bench
+// invocation itself is wrong, not that a benchmark was retired.
+func gateRatio(cur *benchfmt.File, spec string, threshold float64) error {
+	num, den, ok := strings.Cut(spec, "/")
+	if !ok || num == "" || den == "" {
+		return fmt.Errorf("bad -ratio %q: want 'BenchmarkA/BenchmarkB'", spec)
+	}
+	a, b := cur.Get(num), cur.Get(den)
+	if a == nil || b == nil {
+		return fmt.Errorf("-ratio %q: benchmark(s) missing from input (have %s=%v %s=%v)",
+			spec, num, a != nil, den, b != nil)
+	}
+	if a.NsPerOp <= 0 || b.NsPerOp <= 0 {
+		return fmt.Errorf("-ratio %q: no ns/op on one side (%s=%.0f %s=%.0f)",
+			spec, num, a.NsPerOp, den, b.NsPerOp)
+	}
+	got := a.NsPerOp / b.NsPerOp
+	if limit := 1 + threshold; got > limit {
+		return fmt.Errorf("REGRESSION %s = %.3f, limit %.3f (%s %.0f ns/op vs %s %.0f ns/op)",
+			spec, got, limit, num, a.NsPerOp, den, b.NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ratio %s = %.3f within limit %.3f\n", spec, got, 1+threshold)
+	return nil
 }
 
 // readInput accepts either `go test -bench` text or an already-distilled

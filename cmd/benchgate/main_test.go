@@ -30,6 +30,31 @@ func TestReadInputSniffsFormat(t *testing.T) {
 	}
 }
 
+// TestGateRatio: the baseline-free same-run gate that pins
+// decision-tracing overhead at ≤ threshold over the untraced run.
+func TestGateRatio(t *testing.T) {
+	text := "BenchmarkDecisionBaseline   30   10000000 ns/op\n" +
+		"BenchmarkDecisionOverhead   30   10300000 ns/op\n"
+	f, err := readInput(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "BenchmarkDecisionOverhead/BenchmarkDecisionBaseline"
+	if err := gateRatio(f, spec, 0.05); err != nil {
+		t.Fatalf("+3%% within a 5%% gate: %v", err)
+	}
+	if err := gateRatio(f, spec, 0.02); err == nil || !strings.Contains(err.Error(), "REGRESSION") {
+		t.Fatalf("+3%% must breach a 2%% gate, got %v", err)
+	}
+	if err := gateRatio(f, "BenchmarkDecisionOverhead", 0.05); err == nil {
+		t.Fatal("spec without '/' accepted")
+	}
+	if err := gateRatio(f, "BenchmarkDecisionOverhead/BenchmarkMissing", 0.05); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing side must fail loudly, got %v", err)
+	}
+}
+
 // TestDefaultGateCoversPlannerStack pins which benchmarks the CI bench
 // job fails on: the planner fast paths and solvers, and nothing else —
 // end-to-end figure benches drift with simulation changes by design and

@@ -6,6 +6,12 @@
 // verifies the determinism contract on the way: every admitted plan
 // response in a run must be byte-identical.
 //
+// When every replica exposes GET /metrics, the run is metrics-aware:
+// the report gains the p99.9 latency tail, the fleet-wide decisions/sec
+// rate (delta of zeppelind_decisions_total over the run), and each
+// class's admission-bucket saturation. Targets without the endpoint
+// degrade silently to the classic output.
+//
 // Usage:
 //
 //	zeppelin-loadgen [-addr URL[,URL...]] [-duration 5s] [-rps 200]

@@ -9,6 +9,7 @@
 //	zeppelin [-seeds N] [-workers N] [-json] <experiment>
 //	zeppelin [-seeds N] [-workers N] campaign [-iters N] [-arrival P] [-drift D] [-policy P] [-json] [...]
 //	zeppelin bench [-ranks R1,R2] [-iters N] [-json]
+//	zeppelin replay [-iters N] [-seed N] [-flip iter=N:decision=replan|reuse] [-json] [...]
 //	zeppelin -version
 //
 // where <experiment> is one of: fig1, table2, fig3, fig5, fig8, fig9,
@@ -34,6 +35,16 @@
 // same shape as the CI bench job's BENCH_*.json artifact, so the same
 // tooling reads both (the measurements themselves differ: CI aggregates
 // go-test samples, bench reports per-rank-count p50s).
+//
+// The replay subcommand is the counterfactual engine: it re-runs one
+// campaign deterministically and, with -flip iter=N:decision=replan|reuse,
+// inverts exactly one replan verdict, reporting the goodput, p99
+// iteration time, and migration-cost delta against the factual run.
+// Without -flip the replay is a determinism check — it must reproduce
+// the factual event stream bit for bit. The campaign cell is shaped by
+// the same flags the campaign subcommand takes, defaulting to the
+// drifting arrival so the threshold controller has verdicts worth
+// flipping.
 package main
 
 import (
@@ -102,6 +113,12 @@ func main() {
 		}
 		return
 	}
+	if args[0] == "replay" {
+		if err := replayCmd(os.Stdout, args[1:], *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if len(args) != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -135,6 +152,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
        zeppelin [-seeds N] [-workers N] campaign [flags]
        zeppelin bench [-ranks R1,R2] [-iters N] [-json]
+       zeppelin replay [flags]
        zeppelin -version
 
 experiments: %s
@@ -145,6 +163,9 @@ campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -incremental (Zeppelin plans through the incremental planner)  -json
 bench flags:    -ranks 64,256 (world sizes, multiples of 8)  -iters N
                 -json (benchfmt artifact, the BENCH_*.json schema)
+replay flags:   -iters N  -seed N  -flip iter=N:decision=replan|reuse
+                (plus the campaign cell flags: -arrival, -dataset, -drift,
+                -policy, -threshold, -every, -replan-cost, -faults)  -json
 `, strings.Join(append(zeppelin.Experiments(), "all"), " "))
 	flag.PrintDefaults()
 }
@@ -218,6 +239,115 @@ func benchCmd(w io.Writer, args []string, jsonOut bool) error {
 		return art.WriteJSON(w)
 	}
 	return art.WriteText(w)
+}
+
+// ---------------------------------------------------------------------
+// replay subcommand
+// ---------------------------------------------------------------------
+
+// parseFlip resolves "-flip iter=N:decision=replan|reuse".
+func parseFlip(s string) (*zeppelin.FlipSpec, error) {
+	f := &zeppelin.FlipSpec{Iter: -1}
+	for _, part := range strings.Split(s, ":") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, usageErrorf("replay: bad -flip component %q (want key=value)", part)
+		}
+		switch k {
+		case "iter":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, usageErrorf("replay: bad -flip iter %q", v)
+			}
+			f.Iter = n
+		case "decision":
+			f.Decision = v
+		default:
+			return nil, usageErrorf("replay: unknown -flip key %q (want iter, decision)", k)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, usageError{err}
+	}
+	return f, nil
+}
+
+// replayCmd runs the counterfactual engine: one deterministic campaign
+// re-run with at most one replan verdict flipped, reporting the
+// goodput/p99/migration-cost delta against the factual run (or a
+// bit-identity check with no flip). The campaign always plans through
+// the incremental planner — replan decisions only shape the stream
+// there.
+func replayCmd(w io.Writer, args []string, jsonOut bool) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	iters := fs.Int("iters", 50, "campaign iterations; must be >= 1")
+	seed := fs.Int64("seed", 0, "campaign RNG seed")
+	arrivalName := fs.String("arrival", "drift", "arrival process: steady|poisson|bursty|drift|replay")
+	datasetName := fs.String("dataset", "arxiv", "base dataset for steady/poisson/bursty/replay arrivals")
+	driftPath := fs.String("drift", "arxiv,github,prolong64k", "comma-separated dataset waypoints for -arrival drift")
+	policyName := fs.String("policy", "threshold", "replan policy: always|never|threshold|periodic")
+	threshold := fs.Float64("threshold", zeppelin.DefaultThreshold, "imbalance ratio for -policy threshold")
+	every := fs.Int("every", 10, "replan cadence for -policy periodic")
+	replanCost := fs.Float64("replan-cost", zeppelin.DefaultReplanCostSec,
+		"seconds charged per replan; must be >= 0 (0 selects the default)")
+	faultsSpec := fs.String("faults", "none",
+		"fault scenario: none|straggler|nic|failstop|shrink, optionally parameterized as name:key=v,...")
+	flipSpec := fs.String("flip", "", "decision to invert, as iter=N:decision=replan|reuse (empty checks bit-identity)")
+	subJSON := fs.Bool("json", false, "emit the replay report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("replay: unexpected arguments %q", fs.Args())
+	}
+	if *iters < 1 {
+		return usageErrorf("replay: -iters must be >= 1, got %d", *iters)
+	}
+	if *replanCost < 0 {
+		return usageErrorf("replay: -replan-cost must be >= 0, got %v", *replanCost)
+	}
+	jsonOut = jsonOut || *subJSON
+
+	req := zeppelin.ReplayRequest{Campaign: zeppelin.CampaignRequest{
+		Workload: zeppelin.WorkloadSpec{
+			Dataset: *datasetName,
+			Arrival: *arrivalName,
+		},
+		Policy: zeppelin.PolicySpec{
+			Name:      *policyName,
+			Threshold: *threshold,
+			Every:     *every,
+		},
+		Faults:        *faultsSpec,
+		Iters:         *iters,
+		Seed:          *seed,
+		ReplanCostSec: *replanCost,
+		Incremental:   true,
+	}}
+	if *arrivalName == "drift" {
+		req.Campaign.Workload.DriftPath = strings.Split(*driftPath, ",")
+	}
+	if err := req.Campaign.Validate(); err != nil {
+		return usageError{err}
+	}
+	if *flipSpec != "" {
+		f, err := parseFlip(*flipSpec)
+		if err != nil {
+			return err
+		}
+		req.Flip = f
+	}
+	rep, err := zeppelin.RunReplay(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	rep.WriteText(w)
+	return nil
 }
 
 // ---------------------------------------------------------------------

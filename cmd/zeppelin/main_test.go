@@ -56,6 +56,65 @@ func TestCampaignCmdRunsFaultedCampaign(t *testing.T) {
 	}
 }
 
+// TestParseFlip: the -flip grammar resolves and validates.
+func TestParseFlip(t *testing.T) {
+	f, err := parseFlip("iter=7:decision=reuse")
+	if err != nil || f.Iter != 7 || f.Decision != "reuse" {
+		t.Fatalf("parseFlip = %+v, %v", f, err)
+	}
+	for _, bad := range []string{"", "iter=7", "decision=reuse", "iter=x:decision=reuse",
+		"iter=7:decision=maybe", "iter=-2:decision=reuse", "iter=7:verdict=reuse"} {
+		if _, err := parseFlip(bad); err == nil {
+			t.Fatalf("parseFlip(%q) accepted", bad)
+		}
+	}
+}
+
+// TestReplayCmdRejectsInvalidFlags: flag mistakes are usage errors.
+func TestReplayCmdRejectsInvalidFlags(t *testing.T) {
+	cases := []struct {
+		args   []string
+		substr string
+	}{
+		{[]string{"-iters", "0"}, "-iters"},
+		{[]string{"-flip", "iter=3"}, "decision"},
+		{[]string{"-flip", "iter=3:decision=maybe"}, "decision"},
+		{[]string{"-arrival", "warp"}, "unknown arrival"},
+		{[]string{"extra"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		err := replayCmd(io.Discard, c.args, false)
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) || !strings.Contains(err.Error(), c.substr) {
+			t.Fatalf("args %v: err = %v, want usage error mentioning %q", c.args, err, c.substr)
+		}
+	}
+}
+
+// TestReplayCmdIdentityAndFlip: without -flip the replay reports
+// bit-identity; with one it reports the counterfactual delta.
+func TestReplayCmdIdentityAndFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns in -short mode")
+	}
+	var ident strings.Builder
+	if err := replayCmd(&ident, []string{"-iters", "20"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ident.String(), "bit-identically") {
+		t.Fatalf("identity replay output:\n%s", ident.String())
+	}
+	var flipped strings.Builder
+	if err := replayCmd(&flipped, []string{"-iters", "20", "-flip", "iter=10:decision=reuse"}, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flip iter 10 -> reuse", "counterfactual:", "delta:"} {
+		if !strings.Contains(flipped.String(), want) {
+			t.Fatalf("flip replay output missing %q:\n%s", want, flipped.String())
+		}
+	}
+}
+
 // TestCampaignCmdIncrementalMatchesStateless: the -incremental flag
 // swaps Zeppelin's planner for the exact-mode incremental one, which
 // must not move a single byte of the campaign artifact.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"zeppelin/pkg/zeppelin"
 )
@@ -43,6 +45,10 @@ type serverConfig struct {
 	planRate, campaignRate, experimentRate float64
 	// planCacheEntries bounds the shared plan cache; 0 disables it.
 	planCacheEntries int
+	// decisionLog receives the structured NDJSON decision log (one line
+	// per decision, stamped with the session id) as sessions drain; nil
+	// disables logging. Mapped from the -decision-log flag.
+	decisionLog io.Writer
 }
 
 // server is the zeppelind planning service: it multiplexes concurrent
@@ -66,7 +72,14 @@ type server struct {
 	planCache *zeppelin.PlanCache
 	// planner answers /v1/plan; stateless, safe for concurrent use.
 	planner *zeppelin.Planner
-	mux     *http.ServeMux
+	// metrics backs GET /metrics: request-latency histograms, plan-solve
+	// timings, and per-kind decision counts.
+	metrics *serverMetrics
+	// decisionLog (guarded by decisionLogMu) is the NDJSON decision log
+	// sink; sessions append their traces as they drain.
+	decisionLog   io.Writer
+	decisionLogMu sync.Mutex
+	mux           *http.ServeMux
 
 	mu          sync.Mutex
 	nextID      int
@@ -81,7 +94,8 @@ type session struct {
 	id     string
 	seq    int // creation order; the listing and eviction sort on it
 	camp   *zeppelin.Campaign
-	state  string // created | running | done | cancelled | failed | deleted
+	req    zeppelin.CampaignRequest // as created; replay re-runs it
+	state  string                   // created | running | done | cancelled | failed | deleted
 	events int
 	errMsg string
 }
@@ -139,6 +153,8 @@ func newServer(ctx context.Context, cfg serverConfig) *server {
 				zeppelin.AdmitExperiment: cfg.experimentRate,
 			},
 		}),
+		metrics:     newServerMetrics(),
+		decisionLog: cfg.decisionLog,
 		maxSessions: defaultMaxSessions,
 		sessions:    make(map[string]*session),
 	}
@@ -147,9 +163,11 @@ func newServer(ctx context.Context, cfg serverConfig) *server {
 	}
 	s.planner = zeppelin.NewPlanner(zeppelin.WithPlanCache(s.planCache))
 	mux := http.NewServeMux()
-	// /healthz stays unadmitted: load-balancer liveness probes must see
-	// the daemon alive even when every traffic class is saturated.
+	// /healthz and /metrics stay unadmitted: liveness probes must see
+	// the daemon alive — and scrapers must see the saturation gauges —
+	// even when every traffic class is saturated.
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/version", s.admitted(zeppelin.AdmitMeta, s.handleVersion))
 	mux.HandleFunc("GET /v1/stats", s.admitted(zeppelin.AdmitMeta, s.handleStats))
 	mux.HandleFunc("POST /v1/plan", s.admitted(zeppelin.AdmitPlan, s.handlePlan))
@@ -158,11 +176,14 @@ func newServer(ctx context.Context, cfg serverConfig) *server {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.admitted(zeppelin.AdmitCampaign, s.handleGetCampaign))
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.admitted(zeppelin.AdmitCampaign, s.handleDeleteCampaign))
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.admitted(zeppelin.AdmitCampaign, s.handleCampaignEvents))
+	mux.HandleFunc("GET /v1/campaigns/{id}/decisions", s.admitted(zeppelin.AdmitCampaign, s.handleCampaignDecisions))
+	mux.HandleFunc("POST /v1/campaigns/{id}/replay", s.admitted(zeppelin.AdmitCampaign, s.handleReplayCampaign))
 	mux.HandleFunc("GET /v1/experiments/{name}", s.admitted(zeppelin.AdmitExperiment, s.handleExperiment))
 	// Wrong-method hits on known /v1 routes get a structured 405 (the
 	// method-specific patterns above win for matching methods) …
 	for _, p := range []string{"/v1/version", "/v1/stats", "/v1/plan", "/v1/campaigns",
-		"/v1/campaigns/{id}", "/v1/campaigns/{id}/events", "/v1/experiments/{name}"} {
+		"/v1/campaigns/{id}", "/v1/campaigns/{id}/events", "/v1/campaigns/{id}/decisions",
+		"/v1/campaigns/{id}/replay", "/v1/experiments/{name}"} {
 		mux.HandleFunc(p, s.handleMethodNotAllowed)
 	}
 	// … and every unknown /v1 route gets a structured 404 instead of
@@ -189,7 +210,9 @@ func (s *server) admitted(class zeppelin.AdmissionClass, h http.HandlerFunc) htt
 				"admission control: %s capacity exhausted, retry in %ds", class, secs)
 			return
 		}
+		t0 := time.Now()
 		h(w, r)
+		s.metrics.httpLatency[class].Observe(time.Since(t0).Seconds())
 	}
 }
 
@@ -297,11 +320,13 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return // client gone while queued
 	}
 	defer s.release()
+	t0 := time.Now()
 	resp, err := s.planner.Plan(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
+	s.metrics.planSolve.Observe(time.Since(t0).Seconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -310,14 +335,19 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	camp, err := zeppelin.NewCampaign(req, zeppelin.WithCampaignPlanCache(s.planCache))
+	// Every session records its decisions: the trace backs the
+	// /decisions route, the structured decision log, and the per-kind
+	// /metrics counters. Recording is a handful of small allocations per
+	// iteration — the gated BenchmarkDecisionOverhead keeps it ≤5%.
+	camp, err := zeppelin.NewCampaign(req,
+		zeppelin.WithCampaignPlanCache(s.planCache), zeppelin.WithCampaignDecisions())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	s.mu.Lock()
 	s.nextID++
-	sess := &session{id: fmt.Sprintf("c%d", s.nextID), seq: s.nextID, camp: camp, state: "created"}
+	sess := &session{id: fmt.Sprintf("c%d", s.nextID), seq: s.nextID, camp: camp, req: req, state: "created"}
 	s.sessions[sess.id] = sess
 	s.evictLocked(sess)
 	s.mu.Unlock()
@@ -535,6 +565,9 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	default:
 		finish("failed", err.Error())
 	}
+	// The stream ran exactly once, so this folds the session's decision
+	// trace into the metrics counters (and the decision log) exactly once.
+	s.recordDecisions(sess)
 }
 
 func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {

@@ -12,19 +12,29 @@
 //     token-bucket admission control (Admission, TokenBucket), the
 //     process-wide shared plan cache (PlanCache — exact full-solve
 //     reuse across plan requests and campaign sessions, bit-identical
-//     by construction), and the load-generation engine (RunLoad:
-//     paced plan RPS plus concurrent campaign streams, latency
-//     percentiles, benchfmt artifact). Context-aware throughout
-//     (cancellation stops campaigns between iterations and grids
-//     between jobs) with the JSON wire schema pinned by golden tests.
-//     cmd/zeppelin is its reference client; cmd/zeppelind serves it
+//     by construction), the load-generation engine (RunLoad: paced
+//     plan RPS plus concurrent campaign streams, latency percentiles,
+//     benchfmt artifact, and — when targets expose /metrics — the
+//     p99.9 tail, fleet decisions/sec, and admission saturation), and
+//     the observability surface: per-campaign decision traces
+//     (WithCampaignDecisions, DecisionRecord with scored
+//     alternatives) and the counterfactual replay engine (RunReplay:
+//     re-run a recorded stream with exactly one replan verdict
+//     flipped — FlipSpec — and report the goodput/p99/wall-time
+//     delta; a no-flip replay must be bit-identical). Context-aware
+//     throughout (cancellation stops campaigns between iterations and
+//     grids between jobs) with the JSON wire schema pinned by golden
+//     tests. cmd/zeppelin is its reference client (campaign, replay,
+//     bench, fig13/fig14/fig15 subcommands); cmd/zeppelind serves it
 //     over HTTP (POST /v1/plan, POST /v1/campaigns + NDJSON event
 //     streams honoring client disconnect and SIGTERM drain, GET
-//     /v1/experiments/{name}, GET /v1/stats, GET /v1/version, GET
-//     /healthz — all /v1 routes behind admission control with
-//     structured 429s); cmd/zeppelin-loadgen drives fleet-shaped
-//     traffic at one or more replicas and verifies byte-identical
-//     plans on the way.
+//     /v1/campaigns/{id}/decisions, POST /v1/campaigns/{id}/replay,
+//     GET /v1/experiments/{name}, GET /v1/stats, GET /v1/version —
+//     all /v1 routes behind admission control with structured 429s —
+//     plus unadmitted GET /healthz and GET /metrics, and an NDJSON
+//     decision log via -decision-log); cmd/zeppelin-loadgen drives
+//     fleet-shaped traffic at one or more replicas and verifies
+//     byte-identical plans on the way.
 //
 //   - internal/sim        — deterministic discrete-event simulator
 //
@@ -73,6 +83,17 @@
 //     processes, online re-planning policies, per-iteration metrics,
 //     consumed either all at once (Run) or record by record through the
 //     iterator-style Stream that pkg/zeppelin and zeppelind expose
+//
+//   - internal/decision   — decision tracing for the campaign engine: one
+//     record per replan/placement/admission choice with the scored
+//     alternatives and controller state, a deterministic NDJSON
+//     encoding, and the single-decision flip override the
+//     counterfactual replay engine drives
+//
+//   - internal/promtext   — hand-rolled Prometheus text exposition
+//     (format 0.0.4, no client-library dependency): a builder for
+//     counters and gauges, concurrency-safe histograms, and the
+//     parser zeppelin-loadgen scrapes replicas with
 //
 //   - internal/faults     — deterministic fault-and-elasticity schedules:
 //     stragglers, NIC degradation, fail-stop node loss with

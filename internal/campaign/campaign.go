@@ -32,7 +32,9 @@ import (
 	"sort"
 
 	"zeppelin/internal/cluster"
+	"zeppelin/internal/decision"
 	"zeppelin/internal/faults"
+	"zeppelin/internal/partition"
 	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 	"zeppelin/internal/trainer"
@@ -55,6 +57,14 @@ type ShapeIndependent interface {
 // caller bug.
 type Replanner interface {
 	ResetPlanner()
+}
+
+// PlanModeReporter is implemented by methods whose planner can name the
+// fast path its most recent Plan call took ("full", "patched", "cached",
+// "shared"). The campaign loop uses it to emit placement decision
+// records; zeppelin.Incremental opts in.
+type PlanModeReporter interface {
+	LastPlanMode() string
 }
 
 // SpeedAware is implemented by methods that re-plan against the degraded
@@ -100,6 +110,27 @@ type Config struct {
 	// footprint (2 × hidden × bytes × layers / TP); negative means
 	// migrations are free.
 	MigrateBytesPerToken float64
+	// Decisions, when non-nil, records every replan/admission/placement
+	// choice the campaign loop makes, with the scored alternatives each
+	// site considered. Records are appended from the single campaign
+	// goroutine in iteration order, so the trace is deterministic per
+	// (Config, seed) at any worker count. The trace is Reset at Start.
+	// Nil disables tracing entirely (zero overhead on the hot loop).
+	Decisions *decision.Trace
+	// Flip, when non-nil, overrides the replan verdict at exactly one
+	// iteration — the counterfactual replay hook. Forced decisions (first
+	// iteration, post-resize) are not flippable and the override is
+	// ignored there; a flip that matches the factual verdict changes
+	// nothing, keeping the stream bit-identical.
+	Flip *Flip
+}
+
+// Flip names one replan decision to invert during a counterfactual
+// re-run: at iteration Iter, force the verdict to Replan instead of
+// whatever the policy decides.
+type Flip struct {
+	Iter   int
+	Replan bool
 }
 
 // Default iteration charges; see Config.ReplanCost / Config.ReuseOverhead.
@@ -218,6 +249,9 @@ func Start(ctx context.Context, cfg Config) (*Stream, error) {
 	}
 	if rp, ok := cfg.Method.(Replanner); ok {
 		rp.ResetPlanner()
+	}
+	if cfg.Decisions != nil {
+		cfg.Decisions.Reset()
 	}
 	espec := cfg.Trainer.EffectiveSpec()
 	baseWorld := cfg.Trainer.GPUs() / cfg.Trainer.TP
@@ -346,6 +380,21 @@ func (s *Stream) step() (IterRecord, error) {
 	// shrunk cluster — are trimmed to fit and the excess is deferred;
 	// in a real system those samples re-enter the stream later.
 	batch, deferred := admit(batch, world*s.capacity)
+	if cfg.Decisions != nil && deferred > 0 {
+		admitted := seq.TotalLen(batch)
+		drec := decision.Record{
+			Iter: it, Kind: decision.KindAdmission, Chosen: "trim",
+			Alternatives: []decision.Alternative{
+				{Choice: "admit-all", Score: float64(admitted + deferred)},
+				{Choice: "trim", Score: float64(admitted), Chosen: true},
+			},
+		}
+		if cfg.Faults != nil {
+			drec.World = world
+			drec.Events = view.Events
+		}
+		cfg.Decisions.Add(drec)
+	}
 
 	// Project both placements for the incoming batch: what a fresh
 	// plan would achieve and what reusing the stale skeleton costs.
@@ -354,18 +403,52 @@ func (s *Stream) step() (IterRecord, error) {
 	var fresh *slotPlan
 	var staleImb float64
 	replan := false
+	flipped := false
 	if !s.shapeIndep {
 		fresh = buildSlotPlan(batch, world, s.capacity, slow)
 		staleImb = fresh.imbalance
 		if s.stale != nil {
 			staleImb = s.stale.fill(batch, slow)
 		}
-		replan = s.stale == nil || cfg.Policy.ShouldReplan(PolicyState{
+		forced := s.stale == nil
+		replan = forced || cfg.Policy.ShouldReplan(PolicyState{
 			Iter:           it,
 			SinceReplan:    s.sinceReplan,
 			StaleImbalance: staleImb,
 			FreshImbalance: fresh.imbalance,
 		})
+		// The counterfactual override: invert exactly one non-forced
+		// verdict. A flip that agrees with the factual verdict is a no-op,
+		// so a replay with that flip stays bit-identical.
+		if cfg.Flip != nil && cfg.Flip.Iter == it && !forced && replan != cfg.Flip.Replan {
+			replan = cfg.Flip.Replan
+			flipped = true
+		}
+		if cfg.Decisions != nil {
+			drec := decision.Record{
+				Iter: it, Kind: decision.KindReplan,
+				Chosen: "reuse", Forced: forced, Flipped: flipped,
+				Policy:         cfg.Policy.Name(),
+				StaleImbalance: staleImb,
+				FreshImbalance: fresh.imbalance,
+				SinceReplan:    s.sinceReplan,
+				Alternatives: []decision.Alternative{
+					{Choice: "replan", Score: fresh.imbalance, Chosen: replan},
+					{Choice: "reuse", Score: staleImb, Chosen: !replan},
+				},
+			}
+			if replan {
+				drec.Chosen = "replan"
+			}
+			if th, ok := cfg.Policy.(Threshold); ok {
+				drec.Threshold = th.ratio()
+			}
+			if cfg.Faults != nil {
+				drec.World = world
+				drec.Events = view.Events
+			}
+			cfg.Decisions.Add(drec)
+		}
 	}
 
 	// The fresh reference simulation: full fidelity for the plan the
@@ -381,6 +464,29 @@ func (s *Stream) step() (IterRecord, error) {
 	busy := perRankBusy(res, world)
 	realizedImb := maxOverMean(busy)
 
+	// Placement record: which fast path the incremental planner took for
+	// this iteration's plan (trainer.Run just executed it). Cumulative
+	// fast-path counters score the alternatives — the planner's lifetime
+	// tendency at the moment of the decision.
+	if cfg.Decisions != nil && !s.shapeIndep {
+		if pm, ok := cfg.Method.(PlanModeReporter); ok {
+			mode := pm.LastPlanMode()
+			drec := decision.Record{
+				Iter: it, Kind: decision.KindPlacement, Chosen: mode, PlanMode: mode,
+			}
+			if pc, ok := cfg.Method.(interface{ PlannerCounters() partition.Counters }); ok {
+				c := pc.PlannerCounters()
+				drec.Alternatives = []decision.Alternative{
+					{Choice: "full", Score: float64(c.Full), Chosen: mode == "full"},
+					{Choice: "patched", Score: float64(c.Patched), Chosen: mode == "patched"},
+					{Choice: "cached", Score: float64(c.Cached), Chosen: mode == "cached"},
+					{Choice: "shared", Score: float64(c.Shared), Chosen: mode == "shared"},
+				}
+			}
+			cfg.Decisions.Add(drec)
+		}
+	}
+
 	rec := IterRecord{
 		Iter:     it,
 		Tokens:   seq.TotalLen(batch),
@@ -389,6 +495,7 @@ func (s *Stream) step() (IterRecord, error) {
 		Penalty:  1,
 		Recovery: recovery,
 		Events:   view.Events,
+		Flipped:  flipped,
 	}
 	if cfg.Faults != nil {
 		rec.World = world

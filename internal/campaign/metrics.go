@@ -20,6 +20,9 @@ type IterRecord struct {
 	Deferred int `json:"deferred,omitempty"`
 	// Replanned reports whether the partitioner ran this iteration.
 	Replanned bool `json:"replanned"`
+	// Flipped marks the one iteration a counterfactual replay overrode
+	// the replan verdict on (never set in factual runs).
+	Flipped bool `json:"flipped,omitempty"`
 	// Time is the simulated wall time of the iteration in seconds,
 	// including replan or reuse overheads.
 	Time float64 `json:"time"`
@@ -169,6 +172,7 @@ func (r *Report) TraceRows() []trace.CampaignRow {
 			Iter:      rec.Iter,
 			Time:      rec.Time,
 			Replan:    rec.Replanned,
+			Flip:      rec.Flipped,
 			Imbalance: rec.Imbalance,
 			Mark:      eventMark(rec.Events),
 			Note:      strings.Join(rec.Events, " "),

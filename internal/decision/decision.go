@@ -1,0 +1,174 @@
+// Package decision is the decision-tracing layer of the campaign
+// engine: a typed record of every choice the online controllers make —
+// which replan verdict the policy returned and against which projected
+// imbalances, what admission control trimmed and why, which fast path
+// the incremental planner took — together with the scored alternatives
+// that were actually on the table when the choice was made.
+//
+// Records are produced inside the single-goroutine campaign loop in
+// iteration order, so a trace is deterministic per (Config, seed): the
+// same campaign run at any worker count serializes to byte-identical
+// NDJSON. That determinism is what makes the records replayable — the
+// counterfactual engine re-runs a recorded stream with exactly one
+// decision flipped and diffs the outcome against the factual run.
+package decision
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies a decision site.
+type Kind string
+
+// The three decision sites the campaign loop records.
+const (
+	// KindReplan is the replanning controller's verdict: re-run the
+	// partitioner for the incoming batch, or stretch the stale skeleton.
+	KindReplan Kind = "replan"
+	// KindAdmission is the per-iteration capacity gate: an arrival that
+	// exceeds placement capacity is trimmed and the excess deferred.
+	// Recorded only when the gate actually trims — when everything fits
+	// there was no choice to make.
+	KindAdmission Kind = "admission"
+	// KindPlacement is the incremental planner's fast-path outcome for
+	// the iteration's plan: full solve, patched previous plan, local
+	// cache hit, or shared-tier hit.
+	KindPlacement Kind = "placement"
+)
+
+// Alternative is one scored option the decision site considered.
+type Alternative struct {
+	// Choice names the option ("replan", "reuse", "full", "cached", ...).
+	Choice string `json:"choice"`
+	// Score is the option's figure of merit at decision time: projected
+	// max/mean imbalance for replan alternatives, token counts for
+	// admission, cumulative win counts for placement fast paths.
+	Score float64 `json:"score"`
+	// Chosen marks the option the decision selected.
+	Chosen bool `json:"chosen,omitempty"`
+}
+
+// Record is one decision with its full context: what was chosen, what
+// else was considered, and the controller state that drove the choice.
+// Field order is part of the NDJSON contract — logs are compared and
+// grepped byte-wise, so new fields append rather than reorder.
+type Record struct {
+	// Iter is the campaign iteration the decision belongs to.
+	Iter int `json:"iter"`
+	// Kind classifies the decision site; Chosen names the winning
+	// alternative. The two are adjacent so `"kind":"replan","chosen":"replan"`
+	// is a stable grep key for replan executions in a log.
+	Kind   Kind   `json:"kind"`
+	Chosen string `json:"chosen"`
+	// Forced marks decisions the controller had no say in: the first
+	// iteration (no stale skeleton exists) and the iteration after an
+	// elastic resize (the skeleton addresses ranks that no longer
+	// exist). Forced decisions are not flippable.
+	Forced bool `json:"forced,omitempty"`
+	// Flipped marks the one decision a counterfactual replay overrode.
+	Flipped bool `json:"flipped,omitempty"`
+	// Policy and Threshold describe the replanning controller: the
+	// policy name and, for threshold controllers, the ratio it fires at.
+	Policy    string  `json:"policy,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// StaleImbalance and FreshImbalance are the projections the replan
+	// verdict weighed: routing the batch through the stale skeleton vs
+	// the best a fresh plan would achieve.
+	StaleImbalance float64 `json:"stale_imbalance,omitempty"`
+	FreshImbalance float64 `json:"fresh_imbalance,omitempty"`
+	// SinceReplan counts iterations since the partitioner last ran.
+	SinceReplan int `json:"since_replan,omitempty"`
+	// PlanMode is the incremental planner's fast path for placement
+	// records ("full", "patched", "cached", "shared").
+	PlanMode string `json:"plan_mode,omitempty"`
+	// Events and World snapshot the fault state the decision was made
+	// under: the iteration's fault/recovery markers and the active
+	// data-parallel world size (fault campaigns only).
+	Events []string `json:"events,omitempty"`
+	World  int      `json:"world,omitempty"`
+	// Alternatives are the scored options considered, chosen included.
+	Alternatives []Alternative `json:"alternatives,omitempty"`
+}
+
+// Trace accumulates a campaign's decision records in iteration order.
+// The campaign loop appends from its single goroutine; snapshots and
+// serialization may run concurrently (the zeppelind decisions route
+// reads while a stream is running), so all methods are safe for
+// concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one record.
+func (t *Trace) Add(r Record) {
+	t.mu.Lock()
+	t.records = append(t.records, r)
+	t.mu.Unlock()
+}
+
+// Len reports the number of records accumulated.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Records snapshots the accumulated records (a copy; safe to hold).
+func (t *Trace) Records() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Record(nil), t.records...)
+}
+
+// Reset drops all records; campaigns call it at stream start so a
+// reused trace never mixes runs.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.records = t.records[:0]
+	t.mu.Unlock()
+}
+
+// WriteNDJSON serializes the trace one compact JSON record per line —
+// the structured decision-log format. Encoding is deterministic (fixed
+// field order, no map iteration), so equal traces produce byte-equal
+// logs at any worker count.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	for _, r := range t.Records() {
+		if err := WriteRecordNDJSON(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRecordNDJSON writes one record as a compact JSON line.
+func WriteRecordNDJSON(w io.Writer, r Record) error {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("decision: encode record: %w", err)
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// CountKind counts records of one kind; with chosen non-empty, only
+// those whose winning alternative matches. CountKind(KindReplan,
+// "replan") is the number of iterations whose partitioner actually ran
+// — the cross-check the CI decision-log smoke asserts against the event
+// stream's replan count.
+func (t *Trace) CountKind(kind Kind, chosen string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.records {
+		if r.Kind == kind && (chosen == "" || r.Chosen == chosen) {
+			n++
+		}
+	}
+	return n
+}

@@ -57,6 +57,11 @@ func (m PlanMode) String() string {
 // PlanStats describes one Plan call's fast-path decision.
 type PlanStats struct {
 	Mode PlanMode
+	// Shared marks a PlanCached outcome that was served from the
+	// process-wide shared tier rather than this planner's own cache. The
+	// Mode stays PlanCached — shared hits carry the same full-solve purity
+	// guarantee — but observability distinguishes the two.
+	Shared bool
 	// AddedSeqs/RemovedSeqs/DeltaTokens quantify the batch delta against
 	// the previous plan (zero on full solves without a predecessor and on
 	// cache hits).
@@ -251,7 +256,7 @@ func (p *Incremental) Plan(cfg Config, batch []seq.Sequence) (*Result, PlanStats
 			p.counters.Shared++
 			p.rebuildBase(cfg, res)
 			p.insertCache(key, cfg, batch, res)
-			return res, PlanStats{Mode: PlanCached}, nil
+			return res, PlanStats{Mode: PlanCached, Shared: true}, nil
 		}
 	}
 

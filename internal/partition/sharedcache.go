@@ -33,13 +33,14 @@ const DefaultSharedCap = 256
 // shared across planners. The zero value is unusable; build with
 // NewSharedCache. All methods are safe for concurrent use.
 type SharedCache struct {
-	mu      sync.Mutex
-	cap     int
-	seed    maphash.Seed
-	entries []sharedEntry // front = most recently used
-	hits    uint64
-	misses  uint64
-	keyBuf  []byte // hash scratch, guarded by mu
+	mu        sync.Mutex
+	cap       int
+	seed      maphash.Seed
+	entries   []sharedEntry // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	keyBuf    []byte // hash scratch, guarded by mu
 }
 
 // sharedEntry is one published full solve plus the exact inputs that
@@ -57,10 +58,13 @@ type sharedEntry struct {
 
 // SharedCacheStats is a point-in-time counter snapshot.
 type SharedCacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Entries  int    `json:"entries"`
-	Capacity int    `json:"capacity"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped off the LRU tail to make room —
+	// a full cache churning under distinct inputs.
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
 }
 
 // NewSharedCache builds a shared tier bounded to cap entries
@@ -119,6 +123,9 @@ func (c *SharedCache) Put(cfg Config, batch []seq.Sequence, res *Result) {
 	}
 	if len(c.entries) < c.cap {
 		c.entries = append(c.entries, sharedEntry{})
+	} else {
+		// The shift below drops the LRU tail to make room.
+		c.evictions++
 	}
 	copy(c.entries[1:], c.entries[:len(c.entries)-1])
 	c.entries[0] = e
@@ -128,7 +135,10 @@ func (c *SharedCache) Put(cfg Config, batch []seq.Sequence, res *Result) {
 func (c *SharedCache) Stats() SharedCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return SharedCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Capacity: c.cap}
+	return SharedCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Capacity: c.cap,
+	}
 }
 
 // findLocked scans for an exact match. Unlike the per-planner cache's

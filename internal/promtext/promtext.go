@@ -1,0 +1,337 @@
+// Package promtext renders and parses the Prometheus text exposition
+// format (version 0.0.4) without external dependencies. zeppelind's
+// GET /metrics endpoint renders through Builder and Histogram; the load
+// generator scrapes targets back through Parse. Only the subset the
+// repo needs is implemented: counter, gauge, and histogram families
+// with HELP/TYPE headers, label escaping, and the shortest-roundtrip
+// float formatting Prometheus itself uses.
+package promtext
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Builder accumulates an exposition document. Zero value is ready.
+type Builder struct {
+	buf bytes.Buffer
+}
+
+// Metric writes a family header: # HELP and # TYPE lines. Call once per
+// family, before its samples; typ is "counter", "gauge", or "histogram".
+func (b *Builder) Metric(name, typ, help string) {
+	fmt.Fprintf(&b.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&b.buf, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line: name{labels} value.
+func (b *Builder) Sample(name string, labels []Label, v float64) {
+	b.buf.WriteString(name)
+	writeLabels(&b.buf, labels)
+	b.buf.WriteByte(' ')
+	b.buf.WriteString(formatFloat(v))
+	b.buf.WriteByte('\n')
+}
+
+// Bytes returns the document rendered so far.
+func (b *Builder) Bytes() []byte { return b.buf.Bytes() }
+
+// WriteTo writes the document to w.
+func (b *Builder) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b.buf.Bytes())
+	return int64(n), err
+}
+
+func writeLabels(buf *bytes.Buffer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	buf.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(l.Name)
+		buf.WriteString(`="`)
+		buf.WriteString(escapeValue(l.Value))
+		buf.WriteByte('"')
+	}
+	buf.WriteByte('}')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case v > 1e308*1.5: // +Inf without importing math for one constant
+		return "+Inf"
+	case v < -1e308*1.5:
+		return "-Inf"
+	case v != v:
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeValue escapes a label value: backslash, double-quote, newline.
+func escapeValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// DefaultLatencyBuckets are the request-latency bucket bounds in
+// seconds: sub-millisecond plan hits through multi-second campaign
+// streams.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // per-bucket (non-cumulative); rendered cumulative
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds. An
+// implicit +Inf bucket catches everything beyond the last bound.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Write renders the histogram's series — cumulative le buckets, +Inf,
+// _sum, and _count — under the family name with the given base labels.
+// The caller writes the family header once (type "histogram").
+func (h *Histogram) Write(b *Builder, name string, labels []Label) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	cum := uint64(0)
+	le := make([]Label, len(labels), len(labels)+1)
+	copy(le, labels)
+	le = append(le, Label{Name: "le"})
+	for i, bound := range bounds {
+		cum += counts[i]
+		le[len(le)-1].Value = formatFloat(bound)
+		b.Sample(name+"_bucket", le, float64(cum))
+	}
+	cum += counts[len(counts)-1]
+	le[len(le)-1].Value = "+Inf"
+	b.Sample(name+"_bucket", le, float64(cum))
+	b.Sample(name+"_sum", labels, sum)
+	b.Sample(name+"_count", labels, float64(count))
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed exposition document.
+type Metrics []Sample
+
+// Parse reads a text exposition document. Comment and blank lines are
+// skipped; malformed sample lines are an error (the CI smoke uses Parse
+// to assert /metrics is well-formed).
+func Parse(r io.Reader) (Metrics, error) {
+	var out Metrics
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[i+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	// A timestamp may trail the value; the value is the first field.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(f string) (float64, error) {
+	// ParseFloat accepts "+Inf"/"-Inf"/"NaN" spellings directly.
+	return strconv.ParseFloat(f, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		labels[name] = val.String()
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// Sum totals all series of one family (any label set).
+func (m Metrics) Sum(name string) float64 {
+	total := 0.0
+	for _, s := range m {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Has reports whether any series of the family is present.
+func (m Metrics) Has(name string) bool {
+	for _, s := range m {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ByLabel collects a family's series keyed by one label's value.
+func (m Metrics) ByLabel(name, label string) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range m {
+		if s.Name == name {
+			out[s.Labels[label]] = s.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package promtext
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip: a rendered document parses back to the same samples.
+func TestRoundTrip(t *testing.T) {
+	var b Builder
+	b.Metric("z_requests_total", "counter", "Requests by class.")
+	b.Sample("z_requests_total", []Label{L("class", "plan")}, 42)
+	b.Sample("z_requests_total", []Label{L("class", "campaign")}, 7)
+	b.Metric("z_tokens", "gauge", "Bucket level.")
+	b.Sample("z_tokens", nil, 99.5)
+
+	m, err := Parse(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sum("z_requests_total"); got != 49 {
+		t.Fatalf("Sum = %v, want 49", got)
+	}
+	by := m.ByLabel("z_requests_total", "class")
+	if by["plan"] != 42 || by["campaign"] != 7 {
+		t.Fatalf("ByLabel = %v", by)
+	}
+	if !m.Has("z_tokens") || m.Has("z_missing") {
+		t.Fatal("Has misreports families")
+	}
+}
+
+// TestHistogramCumulative: buckets render cumulatively with a +Inf
+// terminal, and _sum/_count match the observations.
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b Builder
+	b.Metric("z_lat", "histogram", "Latency.")
+	h.Write(&b, "z_lat", []Label{L("class", "plan")})
+	doc := string(b.Bytes())
+
+	for _, want := range []string{
+		`z_lat_bucket{class="plan",le="0.1"} 1`,
+		`z_lat_bucket{class="plan",le="1"} 3`,
+		`z_lat_bucket{class="plan",le="10"} 4`,
+		`z_lat_bucket{class="plan",le="+Inf"} 5`,
+		`z_lat_sum{class="plan"} 56.05`,
+		`z_lat_count{class="plan"} 5`,
+	} {
+		if !strings.Contains(doc, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, doc)
+		}
+	}
+
+	m, err := Parse(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range m {
+		if s.Name == "z_lat_bucket" && s.Labels["le"] == "+Inf" {
+			found = true
+			if s.Value != 5 {
+				t.Fatalf("+Inf bucket = %v, want 5", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no +Inf bucket parsed")
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+// TestEscaping: label values with quotes, backslashes, and newlines
+// survive a render/parse round trip.
+func TestEscaping(t *testing.T) {
+	var b Builder
+	b.Sample("z_x", []Label{L("k", "a\"b\\c\nd")}, 1)
+	m, err := Parse(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[0].Labels["k"] != "a\"b\\c\nd" {
+		t.Fatalf("escaped label did not round-trip: %+v", m)
+	}
+}
+
+// TestSpecialValues: infinities render in exposition spelling and parse
+// back.
+func TestSpecialValues(t *testing.T) {
+	var b Builder
+	b.Sample("z_inf", nil, math.Inf(1))
+	if !strings.Contains(string(b.Bytes()), "z_inf +Inf\n") {
+		t.Fatalf("inf rendered as %q", b.Bytes())
+	}
+	m, err := Parse(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m[0].Value, 1) {
+		t.Fatalf("parsed %v, want +Inf", m[0].Value)
+	}
+}
+
+// TestParseRejectsMalformed: the CI smoke relies on Parse failing on
+// garbage.
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"name{unterminated 1",
+		"nolabels",
+		`name{k="v"} notanumber`,
+		`{k="v"} 1`,
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("Parse accepted %q", bad)
+		}
+	}
+}

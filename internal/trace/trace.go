@@ -143,9 +143,12 @@ func Timeline(w io.Writer, events []Event, ranks []int, width int) {
 // realized per-rank imbalance, and an optional fault marker.
 // internal/campaign produces these via Report.TraceRows.
 type CampaignRow struct {
-	Iter      int
-	Time      float64 // seconds
-	Replan    bool
+	Iter   int
+	Time   float64 // seconds
+	Replan bool
+	// Flip marks an iteration whose replan verdict a counterfactual
+	// replay overrode; it renders as '*' in place of the replan marker.
+	Flip      bool
 	Imbalance float64
 	// Mark is a one-glyph fault/recovery marker ('F' fail-stop, 'E'
 	// elastic resize, 'S' straggler/NIC degradation, '+' recovery;
@@ -174,7 +177,7 @@ func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
 	}
 	rows = downsample(rows, maxRows)
 	var maxTime float64
-	anyMark := false
+	anyMark, anyFlip := false, false
 	for _, r := range rows {
 		if r.Time > maxTime {
 			maxTime = r.Time
@@ -182,12 +185,18 @@ func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
 		if r.Mark != 0 {
 			anyMark = true
 		}
+		if r.Flip {
+			anyFlip = true
+		}
 	}
 	if maxTime <= 0 {
 		fmt.Fprintln(w, "(no iterations)")
 		return
 	}
 	legend := "'R' = replan"
+	if anyFlip {
+		legend += ", '*' = flipped decision"
+	}
 	if anyMark {
 		legend += ", 'F' = fail-stop, 'E' = elastic resize, 'S' = straggler/NIC, '+' = recovery"
 	}
@@ -204,6 +213,9 @@ func CampaignTimeline(w io.Writer, rows []CampaignRow, width, maxRows int) {
 		marker := ' '
 		if r.Replan {
 			marker = 'R'
+		}
+		if r.Flip {
+			marker = '*'
 		}
 		mark := ' '
 		if r.Mark != 0 {
@@ -255,6 +267,9 @@ func downsample(rows []CampaignRow, maxRows int) []CampaignRow {
 			agg.Time += r.Time
 			if r.Replan {
 				agg.Replan = true
+			}
+			if r.Flip {
+				agg.Flip = true
 			}
 			if r.Imbalance > agg.Imbalance {
 				agg.Imbalance = r.Imbalance

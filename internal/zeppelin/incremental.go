@@ -104,6 +104,16 @@ func (z *Incremental) PlannerCounters() partition.Counters { return z.planner.Co
 // LastStats reports the most recent Plan call's fast-path decision.
 func (z *Incremental) LastStats() partition.PlanStats { return z.lastStats }
 
+// LastPlanMode names the most recent Plan call's fast path for decision
+// tracing: "full", "patched", "cached", or "shared" (a cached-mode hit
+// served from the process-wide tier). Implements campaign.PlanModeReporter.
+func (z *Incremental) LastPlanMode() string {
+	if z.lastStats.Shared {
+		return "shared"
+	}
+	return z.lastStats.Mode.String()
+}
+
 // RemapCacheStats reports (hits, misses) of the remap-solution cache.
 func (z *Incremental) RemapCacheStats() (hits, misses int) { return z.remapHits, z.remapMiss }
 

@@ -100,6 +100,26 @@ func (b *TokenBucket) Counts() (allowed, denied uint64) {
 	return b.allowed, b.denied
 }
 
+// Level snapshots the bucket fill after applying the refill due now:
+// current tokens and the burst capacity. Unlimited buckets report full.
+// Saturation (1 - tokens/burst) is the /metrics gauge derived from it.
+func (b *TokenBucket) Level() (tokens, burst float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return b.burst, b.burst
+	}
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	return b.tokens, b.burst
+}
+
 // AdmissionConfig sets the per-class token-bucket parameters.
 type AdmissionConfig struct {
 	// Rate is the default per-class admission rate in requests per
@@ -149,6 +169,13 @@ type AdmissionStats struct {
 	Class   AdmissionClass `json:"class"`
 	Allowed uint64         `json:"allowed"`
 	Denied  uint64         `json:"denied"`
+}
+
+// Bucket returns the class's token bucket (nil for unknown classes) —
+// the hook zeppelind's /metrics endpoint uses to read levels and counts
+// without widening the /v1/stats wire type.
+func (a *Admission) Bucket(class AdmissionClass) *TokenBucket {
+	return a.buckets[class]
 }
 
 // Stats snapshots every class's counters in reporting order.

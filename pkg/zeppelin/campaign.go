@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"zeppelin/internal/campaign"
+	"zeppelin/internal/decision"
 	"zeppelin/internal/experiments"
 	"zeppelin/internal/trace"
 )
@@ -34,7 +35,8 @@ const (
 // error. Next/Err/Report must be called from one goroutine (the stream
 // is serial by construction).
 type Campaign struct {
-	cfg campaign.Config
+	cfg   campaign.Config
+	trace *decision.Trace
 
 	mu      sync.Mutex
 	started bool
@@ -46,7 +48,9 @@ type Campaign struct {
 type CampaignOption func(*campaignOptions)
 
 type campaignOptions struct {
-	cache *PlanCache
+	cache     *PlanCache
+	decisions bool
+	flip      *FlipSpec
 }
 
 // WithCampaignPlanCache wires the campaign's session-owned planner to a
@@ -56,6 +60,24 @@ type campaignOptions struct {
 // nil cache is ignored.
 func WithCampaignPlanCache(c *PlanCache) CampaignOption {
 	return func(o *campaignOptions) { o.cache = c }
+}
+
+// WithCampaignDecisions records every replan/admission/placement choice
+// the campaign makes; the trace is readable through Campaign.Decisions
+// while the stream runs and after it completes. Decision traces are
+// deterministic per (request, seed): the same campaign produces a
+// byte-identical decision log at any worker count.
+func WithCampaignDecisions() CampaignOption {
+	return func(o *campaignOptions) { o.decisions = true }
+}
+
+// WithCampaignFlip overrides the replan verdict at exactly one
+// iteration — the counterfactual replay hook. Forced decisions (first
+// iteration, post-resize) are not flippable; a flip agreeing with the
+// factual verdict leaves the stream bit-identical. Implies decision
+// recording so the flipped record is observable.
+func WithCampaignFlip(f FlipSpec) CampaignOption {
+	return func(o *campaignOptions) { o.flip = &f }
 }
 
 // NewCampaign resolves the request into a runnable campaign. The
@@ -70,7 +92,20 @@ func NewCampaign(req CampaignRequest, opts ...CampaignOption) (*Campaign, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{cfg: cfg}, nil
+	c := &Campaign{cfg: cfg}
+	if o.flip != nil {
+		fl, err := o.flip.flip()
+		if err != nil {
+			return nil, err
+		}
+		c.cfg.Flip = fl
+		o.decisions = true
+	}
+	if o.decisions {
+		c.trace = &decision.Trace{}
+		c.cfg.Decisions = c.trace
+	}
+	return c, nil
 }
 
 // Start begins the stream under ctx: once the context is cancelled the
@@ -116,6 +151,21 @@ func (c *Campaign) Err() error {
 
 // Iters is the campaign horizon the request asked for.
 func (c *Campaign) Iters() int { return c.cfg.Iters }
+
+// Decisions snapshots the decision records accumulated so far (empty
+// without WithCampaignDecisions). Safe to call while the stream runs —
+// records accumulate in iteration order from the campaign goroutine.
+func (c *Campaign) Decisions() []DecisionRecord {
+	if c.trace == nil {
+		return nil
+	}
+	recs := c.trace.Records()
+	out := make([]DecisionRecord, len(recs))
+	for i, r := range recs {
+		out[i] = decisionOf(r)
+	}
+	return out
+}
 
 // Report returns the wire report accumulated so far; after Next has
 // returned false it is finalized over the events that ran.

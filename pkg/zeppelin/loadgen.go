@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"zeppelin/internal/benchfmt"
+	"zeppelin/internal/promtext"
 )
 
 // LoadConfig shapes one zeppelin-loadgen run: paced POST /v1/plan
@@ -56,7 +57,10 @@ type LatencySummary struct {
 	P50Ms float64 `json:"p50_ms"`
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
-	MaxMs float64 `json:"max_ms"`
+	// P999Ms is the p99.9 tail, surfaced in text and benchfmt output only
+	// when the target exposes /metrics (observability-aware runs).
+	P999Ms float64 `json:"p999_ms,omitempty"`
+	MaxMs  float64 `json:"max_ms"`
 }
 
 // LoadReport is the artifact of one load run: goodput, latency
@@ -86,6 +90,18 @@ type LoadReport struct {
 	CampaignEvents      int `json:"campaign_events"`
 	CampaignRateLimited int `json:"campaign_rate_limited"`
 	CampaignErrors      int `json:"campaign_errors"`
+
+	// MetricsScraped reports that every replica exposed a parseable
+	// GET /metrics before and after the run; the fields below are only
+	// populated then. Targets without the endpoint degrade silently —
+	// the rest of the report is unchanged.
+	MetricsScraped bool `json:"metrics_scraped,omitempty"`
+	// DecisionsPerSec is the fleet-wide campaign decision rate over the
+	// run (delta of zeppelind_decisions_total across the scrapes).
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+	// AdmissionSaturation is each class's post-run token-bucket
+	// saturation (1 = exhausted, 0 = idle) from the final scrape.
+	AdmissionSaturation map[string]float64 `json:"admission_saturation,omitempty"`
 }
 
 func (c *LoadConfig) validate() error {
@@ -176,6 +192,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		return nil, err
 	}
 
+	// Metrics-aware runs: snapshot each replica's /metrics before the
+	// traffic starts. Replicas without the endpoint (older daemons, test
+	// stubs) degrade silently — the report simply omits the scrape-backed
+	// fields and the rest of the output is unchanged.
+	before, scraped := scrapeFleetMetrics(ctx, client, cfg.Addrs)
+
 	start := time.Now()
 	var wg sync.WaitGroup
 
@@ -252,6 +274,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		return nil, err
 	}
 
+	var after promtext.Metrics
+	if scraped {
+		after, scraped = scrapeFleetMetrics(ctx, client, cfg.Addrs)
+	}
+
 	col.mu.Lock()
 	defer col.mu.Unlock()
 	rep := col.report
@@ -262,15 +289,55 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	sort.Float64s(col.latencies)
 	rep.PlanLatency = LatencySummary{
-		Count: len(col.latencies),
-		P50Ms: percentile(col.latencies, 0.50),
-		P95Ms: percentile(col.latencies, 0.95),
-		P99Ms: percentile(col.latencies, 0.99),
+		Count:  len(col.latencies),
+		P50Ms:  percentile(col.latencies, 0.50),
+		P95Ms:  percentile(col.latencies, 0.95),
+		P99Ms:  percentile(col.latencies, 0.99),
+		P999Ms: percentile(col.latencies, 0.999),
 	}
 	if n := len(col.latencies); n > 0 {
 		rep.PlanLatency.MaxMs = col.latencies[n-1]
 	}
+	if scraped {
+		rep.MetricsScraped = true
+		if delta := after.Sum("zeppelind_decisions_total") - before.Sum("zeppelind_decisions_total"); delta > 0 && rep.DurationSec > 0 {
+			rep.DecisionsPerSec = delta / rep.DurationSec
+		}
+		if sat := after.ByLabel("zeppelind_admission_bucket_saturation", "class"); len(sat) > 0 {
+			rep.AdmissionSaturation = sat
+		}
+	}
 	return &rep, nil
+}
+
+// scrapeFleetMetrics GETs /metrics from every replica and concatenates
+// the parsed samples. ok is false — and the samples nil — as soon as any
+// replica lacks the endpoint or serves something unparseable; loadgen
+// treats the whole fleet as metrics-blind rather than reporting rates
+// computed over a partial scrape.
+func scrapeFleetMetrics(ctx context.Context, client *http.Client, addrs []string) (promtext.Metrics, bool) {
+	var all promtext.Metrics
+	for _, addr := range addrs {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+		if err != nil {
+			return nil, false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, false
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, false
+		}
+		ms, err := promtext.Parse(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, false
+		}
+		all = append(all, ms...)
+	}
+	return all, true
 }
 
 // postOnce fires one JSON POST and returns status and body.
@@ -350,20 +417,27 @@ func streamCampaign(ctx context.Context, client *http.Client, addr string, req C
 func (r *LoadReport) Benchfmt() *benchfmt.File {
 	f := &benchfmt.File{Source: "zeppelin-loadgen", Goos: runtime.GOOS, Goarch: runtime.GOARCH}
 	if r.PlansPerSec > 0 {
+		metrics := map[string]float64{
+			"plans-per-sec": r.PlansPerSec,
+			"p50-ms":        r.PlanLatency.P50Ms,
+			"p95-ms":        r.PlanLatency.P95Ms,
+			"p99-ms":        r.PlanLatency.P99Ms,
+			"rate-limited":  float64(r.PlanRateLimited),
+			"errors":        float64(r.PlanErrors),
+			"unique-bodies": float64(r.UniquePlanBodies),
+		}
+		// Scrape-backed keys appear only on metrics-aware runs so the
+		// artifact schema stays stable against metrics-blind targets.
+		if r.MetricsScraped {
+			metrics["p999-ms"] = r.PlanLatency.P999Ms
+			metrics["decisions-per-sec"] = r.DecisionsPerSec
+		}
 		f.Results = append(f.Results, benchfmt.Result{
 			Name:    "BenchmarkLoadgenPlan",
 			Samples: 1,
 			Iters:   r.PlanOK,
 			NsPerOp: 1e9 / r.PlansPerSec,
-			Metrics: map[string]float64{
-				"plans-per-sec": r.PlansPerSec,
-				"p50-ms":        r.PlanLatency.P50Ms,
-				"p95-ms":        r.PlanLatency.P95Ms,
-				"p99-ms":        r.PlanLatency.P99Ms,
-				"rate-limited":  float64(r.PlanRateLimited),
-				"errors":        float64(r.PlanErrors),
-				"unique-bodies": float64(r.UniquePlanBodies),
-			},
+			Metrics: metrics,
 		})
 	}
 	if r.CampaignStreams > 0 && r.DurationSec > 0 {
@@ -401,14 +475,34 @@ func (r *LoadReport) WriteText(w io.Writer) error {
 	if r.PlanRequests > 0 || r.PlanShed > 0 {
 		fmt.Fprintf(w, "plan:     %d sent, %d ok (%.1f plans/sec), %d rate-limited, %d errors, %d shed\n",
 			r.PlanRequests, r.PlanOK, r.PlansPerSec, r.PlanRateLimited, r.PlanErrors, r.PlanShed)
-		fmt.Fprintf(w, "latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
-			r.PlanLatency.P50Ms, r.PlanLatency.P95Ms, r.PlanLatency.P99Ms, r.PlanLatency.MaxMs)
+		if r.MetricsScraped {
+			fmt.Fprintf(w, "latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n",
+				r.PlanLatency.P50Ms, r.PlanLatency.P95Ms, r.PlanLatency.P99Ms, r.PlanLatency.P999Ms, r.PlanLatency.MaxMs)
+		} else {
+			fmt.Fprintf(w, "latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+				r.PlanLatency.P50Ms, r.PlanLatency.P95Ms, r.PlanLatency.P99Ms, r.PlanLatency.MaxMs)
+		}
 		fmt.Fprintf(w, "identity: %d unique plan bodies across %d admitted plans\n",
 			r.UniquePlanBodies, r.PlanOK)
 	}
 	if r.CampaignStreams > 0 {
 		fmt.Fprintf(w, "campaign: %d streams, %d events, %d rate-limited, %d errors\n",
 			r.CampaignStreams, r.CampaignEvents, r.CampaignRateLimited, r.CampaignErrors)
+	}
+	if r.MetricsScraped {
+		fmt.Fprintf(w, "metrics:  %.1f decisions/sec", r.DecisionsPerSec)
+		if len(r.AdmissionSaturation) > 0 {
+			classes := make([]string, 0, len(r.AdmissionSaturation))
+			for c := range r.AdmissionSaturation {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			fmt.Fprintf(w, ", bucket saturation")
+			for _, c := range classes {
+				fmt.Fprintf(w, " %s=%.2f", c, r.AdmissionSaturation[c])
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

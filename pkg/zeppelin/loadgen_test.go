@@ -90,6 +90,84 @@ func TestRunLoadAccounting(t *testing.T) {
 	if rep.CampaignStreams != 2 || rep.CampaignEvents != 6 || rep.CampaignErrors != 0 {
 		t.Fatalf("campaign accounting = %+v", rep)
 	}
+	// The stub has no /metrics route: the run must degrade silently.
+	if rep.MetricsScraped || rep.DecisionsPerSec != 0 || rep.AdmissionSaturation != nil {
+		t.Fatalf("metrics-blind target produced scrape fields: %+v", rep)
+	}
+	var text strings.Builder
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "metrics:") || strings.Contains(text.String(), "p99.9") {
+		t.Fatalf("metrics-blind text output gained scrape lines:\n%s", text.String())
+	}
+}
+
+// TestRunLoadScrapesMetrics: a target that exposes /metrics gets the
+// decisions/sec rate (delta over the run) and per-class saturation, and
+// the text/benchfmt outputs gain the scrape-backed fields.
+func TestRunLoadScrapesMetrics(t *testing.T) {
+	var scrapes atomic.Int64
+	ts := stubDaemon(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"world":16}`)
+	})
+	defer ts.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// First scrape sees 100 decisions, later ones 400.
+		total := 100
+		if scrapes.Add(1) > 1 {
+			total = 400
+		}
+		fmt.Fprintf(w, "# HELP zeppelind_decisions_total d\n# TYPE zeppelind_decisions_total counter\n")
+		fmt.Fprintf(w, "zeppelind_decisions_total{kind=\"replan\"} %d\n", total)
+		fmt.Fprintf(w, "# HELP zeppelind_admission_bucket_saturation s\n# TYPE zeppelind_admission_bucket_saturation gauge\n")
+		fmt.Fprintf(w, "zeppelind_admission_bucket_saturation{class=\"plan\"} 0.25\n")
+		fmt.Fprintf(w, "zeppelind_admission_bucket_saturation{class=\"campaign\"} 0.75\n")
+	})
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ts.Config.Handler.ServeHTTP(w, r)
+	}))
+	front := httptest.NewServer(mux)
+	defer front.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addrs:    []string{front.URL},
+		Duration: 200 * time.Millisecond,
+		PlanRPS:  50,
+		Client:   front.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MetricsScraped {
+		t.Fatalf("metrics-aware target not scraped: %+v", rep)
+	}
+	if rep.DecisionsPerSec <= 0 {
+		t.Fatalf("decisions/sec = %v, want > 0 from the 300-decision delta", rep.DecisionsPerSec)
+	}
+	if rep.AdmissionSaturation["plan"] != 0.25 || rep.AdmissionSaturation["campaign"] != 0.75 {
+		t.Fatalf("saturation = %v", rep.AdmissionSaturation)
+	}
+	var text strings.Builder
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p99.9", "decisions/sec", "plan=0.25", "campaign=0.75"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+	plan := rep.Benchfmt().Get("BenchmarkLoadgenPlan")
+	if plan == nil {
+		t.Fatal("artifact missing BenchmarkLoadgenPlan")
+	}
+	if _, ok := plan.Metrics["p999-ms"]; !ok {
+		t.Fatalf("scraped artifact missing p999-ms: %v", plan.Metrics)
+	}
+	if plan.Metrics["decisions-per-sec"] != rep.DecisionsPerSec {
+		t.Fatalf("artifact decisions-per-sec = %v, want %v", plan.Metrics["decisions-per-sec"], rep.DecisionsPerSec)
+	}
 }
 
 // TestRunLoadBenchfmt: the artifact carries the gateable series with

@@ -28,6 +28,9 @@ type PlanCacheStats struct {
 	// Hits and Misses count exact-key probes since process start.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// Evictions counts plans dropped off the LRU tail to admit new ones —
+	// a full cache churning under distinct planning inputs.
+	Evictions uint64 `json:"evictions"`
 	// Entries is the current resident plan count, bounded by Capacity.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
@@ -42,7 +45,10 @@ func NewPlanCache(entries int) *PlanCache {
 // Stats snapshots the hit/miss counters.
 func (p *PlanCache) Stats() PlanCacheStats {
 	s := p.shared.Stats()
-	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Capacity: s.Capacity}
+	return PlanCacheStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Entries: s.Entries, Capacity: s.Capacity,
+	}
 }
 
 // sharedTier unwraps the internal cache; nil-safe so call sites can

@@ -98,6 +98,59 @@ func canonicalFixtures() map[string]any {
 			RecoverySeconds: 1.5,
 			FaultEvents:     4,
 		},
+		"decision_record": DecisionRecord{
+			Session:        "c1",
+			Iter:           17,
+			Kind:           "replan",
+			Chosen:         "replan",
+			Forced:         false,
+			Flipped:        true,
+			Policy:         "threshold",
+			Threshold:      1.3,
+			StaleImbalance: 1.42,
+			FreshImbalance: 1.05,
+			SinceReplan:    9,
+			PlanMode:       "patched",
+			Events:         []string{"straggler:rank4 x2.5"},
+			World:          16,
+			Alternatives: []DecisionAlternative{
+				{Choice: "replan", Score: 1.05, Chosen: true},
+				{Choice: "reuse", Score: 1.42},
+			},
+		},
+		"replay_request": ReplayRequest{
+			Campaign: CampaignRequest{
+				Model: "7B",
+				Workload: WorkloadSpec{
+					Arrival:   "drift",
+					DriftPath: []string{"arxiv", "github"},
+				},
+				Iters:       50,
+				Seed:        42,
+				Incremental: true,
+			},
+			Flip: &FlipSpec{Iter: 17, Decision: "reuse"},
+		},
+		"replay_report": ReplayReport{
+			Flip:      &FlipSpec{Iter: 17, Decision: "reuse"},
+			Flipped:   true,
+			Identical: false,
+			Factual: CampaignSummary{
+				Method: "Zeppelin", Iters: 50, Replans: 6,
+				TokensPerSec: 26188.2, P99IterTime: 3.1, WallTime: 125.5,
+			},
+			Counterfactual: &CampaignSummary{
+				Method: "Zeppelin", Iters: 50, Replans: 5,
+				TokensPerSec: 26090.1, P99IterTime: 3.24, WallTime: 125.9,
+			},
+			Delta: &ReplayDelta{
+				TokensPerSecPct: -0.37,
+				P99IterTimePct:  4.52,
+				WallTimeSec:     0.4,
+				Replans:         -1,
+				RecoverySec:     0.25,
+			},
+		},
 		"version_info": VersionInfo{
 			Module:     "zeppelin",
 			Version:    "v1.2.3",

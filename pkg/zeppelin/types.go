@@ -7,6 +7,7 @@ import (
 	"zeppelin/internal/baselines"
 	"zeppelin/internal/campaign"
 	"zeppelin/internal/cluster"
+	"zeppelin/internal/decision"
 	"zeppelin/internal/faults"
 	"zeppelin/internal/model"
 	"zeppelin/internal/partition"
@@ -411,6 +412,9 @@ type CampaignEvent struct {
 	Deferred int `json:"deferred,omitempty"`
 	// Replanned reports whether the partitioner ran this iteration.
 	Replanned bool `json:"replanned"`
+	// Flipped marks the one iteration a counterfactual replay overrode
+	// the replan verdict on (never set in factual runs).
+	Flipped bool `json:"flipped,omitempty"`
 	// Time is the simulated wall time of the iteration in seconds.
 	Time float64 `json:"time"`
 	// TokensPerSec is the iteration's delivered throughput.
@@ -439,6 +443,7 @@ func eventOf(rec campaign.IterRecord) CampaignEvent {
 		Seqs:         rec.Seqs,
 		Deferred:     rec.Deferred,
 		Replanned:    rec.Replanned,
+		Flipped:      rec.Flipped,
 		Time:         rec.Time,
 		TokensPerSec: rec.TokensPerSec,
 		Imbalance:    rec.Imbalance,
@@ -510,6 +515,154 @@ type CampaignReport struct {
 	PerRankUtil []float64 `json:"per_rank_util"`
 	// Events holds every iteration in order.
 	Events []CampaignEvent `json:"events"`
+}
+
+// DecisionAlternative is one scored option a decision site considered.
+type DecisionAlternative struct {
+	// Choice names the option ("replan", "reuse", "full", "cached", ...).
+	Choice string `json:"choice"`
+	// Score is the option's figure of merit at decision time.
+	Score float64 `json:"score"`
+	// Chosen marks the option the decision selected.
+	Chosen bool `json:"chosen,omitempty"`
+}
+
+// DecisionRecord is the wire form of one recorded campaign decision —
+// what was chosen, what else was considered, and the controller state
+// that drove the choice. Field order is part of the NDJSON decision-log
+// contract: kind and chosen are adjacent, so
+// `"kind":"replan","chosen":"replan"` is a stable grep key for replan
+// executions.
+type DecisionRecord struct {
+	// Session is the owning campaign session id (set by zeppelind's
+	// decision log, where one file interleaves many sessions).
+	Session string `json:"session,omitempty"`
+	// Iter is the campaign iteration the decision belongs to.
+	Iter int `json:"iter"`
+	// Kind classifies the decision site: "replan", "admission", or
+	// "placement". Chosen names the winning alternative.
+	Kind   string `json:"kind"`
+	Chosen string `json:"chosen"`
+	// Forced marks decisions the controller had no say in (first
+	// iteration, post-resize); forced decisions are not flippable.
+	Forced bool `json:"forced,omitempty"`
+	// Flipped marks the one decision a counterfactual replay overrode.
+	Flipped bool `json:"flipped,omitempty"`
+	// Policy and Threshold describe the replanning controller.
+	Policy    string  `json:"policy,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// StaleImbalance and FreshImbalance are the projections the replan
+	// verdict weighed.
+	StaleImbalance float64 `json:"stale_imbalance,omitempty"`
+	FreshImbalance float64 `json:"fresh_imbalance,omitempty"`
+	// SinceReplan counts iterations since the partitioner last ran.
+	SinceReplan int `json:"since_replan,omitempty"`
+	// PlanMode is the incremental planner's fast path for placement
+	// records ("full", "patched", "cached", "shared").
+	PlanMode string `json:"plan_mode,omitempty"`
+	// Events and World snapshot the fault state (fault campaigns only).
+	Events []string `json:"events,omitempty"`
+	World  int      `json:"world,omitempty"`
+	// Alternatives are the scored options considered, chosen included.
+	Alternatives []DecisionAlternative `json:"alternatives,omitempty"`
+}
+
+// decisionOf converts an internal decision record to its wire form.
+func decisionOf(r decision.Record) DecisionRecord {
+	out := DecisionRecord{
+		Iter:           r.Iter,
+		Kind:           string(r.Kind),
+		Chosen:         r.Chosen,
+		Forced:         r.Forced,
+		Flipped:        r.Flipped,
+		Policy:         r.Policy,
+		Threshold:      r.Threshold,
+		StaleImbalance: r.StaleImbalance,
+		FreshImbalance: r.FreshImbalance,
+		SinceReplan:    r.SinceReplan,
+		PlanMode:       r.PlanMode,
+		Events:         r.Events,
+		World:          r.World,
+	}
+	if len(r.Alternatives) > 0 {
+		out.Alternatives = make([]DecisionAlternative, len(r.Alternatives))
+		for i, a := range r.Alternatives {
+			out.Alternatives[i] = DecisionAlternative{Choice: a.Choice, Score: a.Score, Chosen: a.Chosen}
+		}
+	}
+	return out
+}
+
+// FlipSpec names one replan decision to invert during a counterfactual
+// replay: at iteration Iter, force the verdict to Decision ("replan" or
+// "reuse") instead of whatever the policy decided.
+type FlipSpec struct {
+	Iter     int    `json:"iter"`
+	Decision string `json:"decision"`
+}
+
+// Validate checks the spec without running anything — the up-front
+// check zeppelind's replay endpoint uses to distinguish a malformed
+// flip (400) from a replay that failed to run (500).
+func (f FlipSpec) Validate() error {
+	_, err := f.flip()
+	return err
+}
+
+// flip resolves the spec onto the internal override.
+func (f FlipSpec) flip() (*campaign.Flip, error) {
+	if f.Iter < 0 {
+		return nil, fmt.Errorf("zeppelin: flip iter must be >= 0, got %d", f.Iter)
+	}
+	switch f.Decision {
+	case "replan":
+		return &campaign.Flip{Iter: f.Iter, Replan: true}, nil
+	case "reuse":
+		return &campaign.Flip{Iter: f.Iter, Replan: false}, nil
+	}
+	return nil, fmt.Errorf("zeppelin: unknown flip decision %q (want replan|reuse)", f.Decision)
+}
+
+// ReplayRequest asks for a recorded campaign to be deterministically
+// re-run, optionally with exactly one replan decision flipped. With no
+// flip the replay must reproduce the factual stream byte for byte.
+type ReplayRequest struct {
+	Campaign CampaignRequest `json:"campaign"`
+	Flip     *FlipSpec       `json:"flip,omitempty"`
+}
+
+// ReplayDelta is the counterfactual-minus-factual outcome difference.
+type ReplayDelta struct {
+	// TokensPerSecPct is the goodput change in percent.
+	TokensPerSecPct float64 `json:"tokens_per_sec_pct"`
+	// P99IterTimePct is the tail-latency change in percent.
+	P99IterTimePct float64 `json:"p99_iter_time_pct"`
+	// WallTimeSec is the absolute campaign wall-time change in seconds.
+	WallTimeSec float64 `json:"wall_time_sec"`
+	// Replans is the replan-count change.
+	Replans int `json:"replans"`
+	// RecoverySec is the fault-transition (migration/restart) cost change
+	// in seconds.
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
+}
+
+// ReplayReport is the wire result of one counterfactual replay.
+type ReplayReport struct {
+	// Flip echoes the requested override, if any.
+	Flip *FlipSpec `json:"flip,omitempty"`
+	// Flipped reports whether the override actually inverted a verdict —
+	// false when it targeted a forced decision or agreed with the factual
+	// one (the replay is then bit-identical to the factual run).
+	Flipped bool `json:"flipped"`
+	// Identical reports that the replayed stream reproduced the factual
+	// stream byte for byte (always true for no-flip and no-op replays).
+	Identical bool `json:"identical"`
+	// Factual and Counterfactual summarize the two runs; Counterfactual
+	// is omitted when the replay was identical.
+	Factual        CampaignSummary  `json:"factual"`
+	Counterfactual *CampaignSummary `json:"counterfactual,omitempty"`
+	// Delta is counterfactual minus factual, present with Counterfactual.
+	Delta *ReplayDelta `json:"delta,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every /v1 endpoint returns:
