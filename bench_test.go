@@ -308,20 +308,24 @@ const (
 )
 
 // fig15BenchStream builds the benchmark stream for n measured
-// iterations, and an index function mapping measured iteration i to its
-// batch.
-func fig15BenchStream(n int) ([][]seq.Sequence, func(i int) int) {
+// iterations at a world size, and an index function mapping measured
+// iteration i to its batch.
+func fig15BenchStream(ranks, n int) ([][]seq.Sequence, func(i int) int) {
 	measured := n
 	if measured > fig15BenchStreamCap {
 		measured = fig15BenchStreamCap
 	}
-	stream := experiments.Fig15Stream(fig15BenchRanks, fig15BenchWarm+measured)
+	stream := experiments.Fig15Stream(ranks, fig15BenchWarm+measured)
 	return stream, func(i int) int { return fig15BenchWarm + i%measured }
 }
 
-func BenchmarkFig15PlanFull(b *testing.B) {
-	stream, at := fig15BenchStream(b.N)
-	p, err := partition.New(experiments.Fig15PlanConfig(fig15BenchRanks))
+// fig15FullBench measures the full hierarchical solve at one world size
+// and solve fan-out over the churning stream.
+func fig15FullBench(b *testing.B, ranks, solveWorkers int) {
+	stream, at := fig15BenchStream(ranks, b.N)
+	cfg := experiments.Fig15PlanConfig(ranks)
+	cfg.SolveWorkers = solveWorkers
+	p, err := partition.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -338,8 +342,52 @@ func BenchmarkFig15PlanFull(b *testing.B) {
 	}
 }
 
+func BenchmarkFig15PlanFull(b *testing.B) { fig15FullBench(b, fig15BenchRanks, 1) }
+
+// BenchmarkFig15ParallelSolve is the tentpole's perf pin, in two parts.
+// The solve-workers variants fan one session's full solve at the
+// 1024-rank sweep point — workers=4 must stay well ahead of workers=1
+// ns/op (the ≥1.5x acceptance bar; CI gates the ratio via benchgate).
+// The sessions variant measures aggregate plans/sec when GOMAXPROCS
+// concurrent sessions each run their own serial solve — the zeppelind
+// fleet scenario, where parallelism comes from the session pool rather
+// than from fanning a single solve.
+func BenchmarkFig15ParallelSolve(b *testing.B) {
+	const ranks = 1024
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("solve-workers=%d", w), func(b *testing.B) {
+			fig15FullBench(b, ranks, w)
+		})
+	}
+	b.Run("sessions", func(b *testing.B) {
+		stream, at := fig15BenchStream(ranks, fig15BenchStreamCap)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// b.Error, not b.Fatal: FailNow must not run off the
+			// benchmark goroutine.
+			p, err := partition.New(experiments.Fig15PlanConfig(ranks))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			i := 0
+			for pb.Next() {
+				if _, err := p.Plan(stream[at(i)]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "plans/s")
+		}
+	})
+}
+
 func BenchmarkFig15PlanIncremental(b *testing.B) {
-	stream, at := fig15BenchStream(b.N)
+	stream, at := fig15BenchStream(fig15BenchRanks, b.N)
 	cfg := experiments.Fig15PlanConfig(fig15BenchRanks)
 	p := partition.NewIncremental(partition.IncrementalConfig{MaxDeltaFrac: experiments.Fig15MaxDeltaFrac})
 	for i := 0; i < fig15BenchWarm; i++ {
@@ -362,6 +410,51 @@ func BenchmarkFig15PlanIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkFig15PlanIncrementalReuse is the steady-state allocation
+// guarantee: with ReusePlans the warm patch path must report 0 allocs/op
+// under -benchmem. The measured window bounces through the stream
+// (…510, 511, 510, 509…) instead of wrapping, so every step is a small
+// adjacent-batch delta and no lap boundary ever forces an allocating
+// full solve; MaxPatchRun is lifted for the same reason. The pinned
+// assertion lives in internal/partition's TestIncrementalPatchZeroAlloc
+// — this benchmark reports the number CI tracks.
+func BenchmarkFig15PlanIncrementalReuse(b *testing.B) {
+	stream, _ := fig15BenchStream(fig15BenchRanks, fig15BenchStreamCap)
+	cfg := experiments.Fig15PlanConfig(fig15BenchRanks)
+	p := partition.NewIncremental(partition.IncrementalConfig{
+		MaxDeltaFrac:      experiments.Fig15MaxDeltaFrac,
+		MaxImbalanceDrift: 0.5,
+		MaxPatchRun:       1 << 30,
+		ReusePlans:        true,
+	})
+	bounce := func(i int) int {
+		span := len(stream) - fig15BenchWarm - 1
+		if k := i % (2 * span); k < span {
+			return fig15BenchWarm + k
+		} else {
+			return fig15BenchWarm + 2*span - k
+		}
+	}
+	for i := 0; i < fig15BenchWarm; i++ {
+		if _, _, err := p.Plan(cfg, stream[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm := p.Counters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Plan(cfg, stream[bounce(i)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c := p.Counters()
+	if total := c.Plans() - warm.Plans(); total > 0 {
+		b.ReportMetric(float64(c.Patched-warm.Patched)/float64(total), "patched-frac")
+	}
+}
+
 // BenchmarkFig15ScalingSweep regenerates the whole fig15 experiment (all
 // world sizes, both paths) — the end-to-end cost of the scaling figure.
 func BenchmarkFig15ScalingSweep(b *testing.B) {
@@ -370,7 +463,7 @@ func BenchmarkFig15ScalingSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(experiments.Fig15ScalingSpeedup(res), "speedup-1024-ranks-x")
+		b.ReportMetric(experiments.Fig15ScalingSpeedup(res), "speedup-8192-ranks-x")
 	}
 }
 

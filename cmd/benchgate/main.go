@@ -1,6 +1,6 @@
 // Command benchgate is the benchmark-regression gate of the CI pipeline.
 // It parses `go test -bench` text output into the shared benchfmt JSON
-// schema, optionally writes it as an artifact (the BENCH_pr4.json the CI
+// schema, optionally writes it as an artifact (the BENCH_pr8.json the CI
 // bench job uploads), and compares planner benchmarks against a
 // checked-in baseline — exiting 1 when any gated benchmark's ns/op grew
 // beyond the threshold, so planning-latency regressions fail the PR
@@ -9,9 +9,9 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchtime 3x -benchmem -count 5 . | \
-//	    benchgate -emit BENCH_pr4.json -baseline BENCH_baseline.json
+//	    benchgate -emit BENCH_pr8.json -baseline BENCH_baseline.json
 //
-//	benchgate -input bench.txt -emit BENCH_pr4.json               # parse only
+//	benchgate -input bench.txt -emit BENCH_pr8.json               # parse only
 //	benchgate -input bench.txt -baseline BENCH_baseline.json -update
 //
 // -input accepts either `go test -bench` text or an already-distilled
@@ -38,6 +38,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +53,7 @@ import (
 // DefaultGate selects the benchmarks the pipeline fails on: the
 // planner stack plus zeppelin-loadgen's service-throughput headline
 // (BenchmarkLoadgenPlan encodes plans/sec as ns/plan).
-const DefaultGate = `^Benchmark(Fig15Plan|PartitionerPlan|RemapSolve|LoadgenPlan)`
+const DefaultGate = `^Benchmark(Fig15Plan|Fig15ParallelSolve|PartitionerPlan|RemapSolve|LoadgenPlan)`
 
 func main() {
 	input := flag.String("input", "-", `bench output to parse ("-" = stdin)`)
@@ -102,7 +103,15 @@ func main() {
 	}
 	if *ratio != "" {
 		if err := gateRatio(cur, *ratio, *threshold); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			if errors.Is(err, errRatioUsage) {
+				// The invocation is wrong (missing side, zero
+				// denominator), not the code under test: exit 2 like
+				// every other usage error, so CI can tell a broken gate
+				// from a real regression.
+				os.Exit(2)
+			}
+			os.Exit(1)
 		}
 	}
 	if *baseline == "" {
@@ -148,6 +157,14 @@ func main() {
 		gated, *threshold*100)
 }
 
+// errRatioUsage marks -ratio failures where the gate invocation itself
+// is wrong — bad spec, a side missing from the input, or a zero-valued
+// denominator that would make the ratio Inf/NaN. main exits 2 for
+// these (like every other usage error) and reserves exit 1 for real
+// regressions, so a misconfigured gate can never pass silently OR read
+// as a performance failure.
+var errRatioUsage = errors.New("ratio gate unusable")
+
 // gateRatio enforces a same-run ratio gate: spec is "A/B", and A's
 // ns/op must not exceed B's by more than the threshold fraction. Both
 // benchmarks must be present in the current results — unlike baseline
@@ -156,16 +173,20 @@ func main() {
 func gateRatio(cur *benchfmt.File, spec string, threshold float64) error {
 	num, den, ok := strings.Cut(spec, "/")
 	if !ok || num == "" || den == "" {
-		return fmt.Errorf("bad -ratio %q: want 'BenchmarkA/BenchmarkB'", spec)
+		return fmt.Errorf("bad -ratio %q: want 'BenchmarkA/BenchmarkB': %w", spec, errRatioUsage)
 	}
 	a, b := cur.Get(num), cur.Get(den)
 	if a == nil || b == nil {
-		return fmt.Errorf("-ratio %q: benchmark(s) missing from input (have %s=%v %s=%v)",
-			spec, num, a != nil, den, b != nil)
+		return fmt.Errorf("-ratio %q: benchmark(s) missing from input (have %s=%v %s=%v): %w",
+			spec, num, a != nil, den, b != nil, errRatioUsage)
 	}
-	if a.NsPerOp <= 0 || b.NsPerOp <= 0 {
-		return fmt.Errorf("-ratio %q: no ns/op on one side (%s=%.0f %s=%.0f)",
-			spec, num, a.NsPerOp, den, b.NsPerOp)
+	if b.NsPerOp <= 0 {
+		return fmt.Errorf("-ratio %q: denominator %s has no ns/op (%.0f) — ratio would divide by zero: %w",
+			spec, den, b.NsPerOp, errRatioUsage)
+	}
+	if a.NsPerOp <= 0 {
+		return fmt.Errorf("-ratio %q: numerator %s has no ns/op (%.0f): %w",
+			spec, num, a.NsPerOp, errRatioUsage)
 	}
 	got := a.NsPerOp / b.NsPerOp
 	if limit := 1 + threshold; got > limit {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"regexp"
 	"strings"
 	"testing"
@@ -43,15 +44,53 @@ func TestGateRatio(t *testing.T) {
 	if err := gateRatio(f, spec, 0.05); err != nil {
 		t.Fatalf("+3%% within a 5%% gate: %v", err)
 	}
-	if err := gateRatio(f, spec, 0.02); err == nil || !strings.Contains(err.Error(), "REGRESSION") {
+	err = gateRatio(f, spec, 0.02)
+	if err == nil || !strings.Contains(err.Error(), "REGRESSION") {
 		t.Fatalf("+3%% must breach a 2%% gate, got %v", err)
 	}
-	if err := gateRatio(f, "BenchmarkDecisionOverhead", 0.05); err == nil {
-		t.Fatal("spec without '/' accepted")
+	// A regression is a result, not a usage error: it must exit 1, not 2.
+	if errors.Is(err, errRatioUsage) {
+		t.Fatalf("regression misclassified as a usage error: %v", err)
+	}
+	if err := gateRatio(f, "BenchmarkDecisionOverhead", 0.05); err == nil || !errors.Is(err, errRatioUsage) {
+		t.Fatalf("spec without '/' must be a usage error, got %v", err)
 	}
 	if err := gateRatio(f, "BenchmarkDecisionOverhead/BenchmarkMissing", 0.05); err == nil ||
-		!strings.Contains(err.Error(), "missing") {
-		t.Fatalf("missing side must fail loudly, got %v", err)
+		!strings.Contains(err.Error(), "missing") || !errors.Is(err, errRatioUsage) {
+		t.Fatalf("missing side must fail loudly as a usage error, got %v", err)
+	}
+}
+
+// TestGateRatioZeroDenominator is the regression test for the silent
+// Inf/NaN gate: a denominator with no ns/op sample must produce a clear
+// division-by-zero diagnostic classified as a usage error (exit 2),
+// never a ratio that passes or a bare exit-1 regression.
+func TestGateRatioZeroDenominator(t *testing.T) {
+	// A JSON artifact, not bench text: the text parser never emits a
+	// 0-ns/op result, but artifact producers (zeppelin-loadgen, zeppelin
+	// bench -json) can — exactly the input that used to divide by zero.
+	jsonIn := `{"results":[` +
+		`{"name":"BenchmarkDecisionBaseline","samples":1,"iters":30,"ns_per_op":0},` +
+		`{"name":"BenchmarkDecisionOverhead","samples":1,"iters":30,"ns_per_op":10300000}]}`
+	f, err := readInput(strings.NewReader(jsonIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "BenchmarkDecisionOverhead/BenchmarkDecisionBaseline"
+	err = gateRatio(f, spec, 0.05)
+	if err == nil {
+		t.Fatal("zero denominator silently passed the ratio gate")
+	}
+	if !errors.Is(err, errRatioUsage) {
+		t.Fatalf("zero denominator must classify as a usage error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "divide by zero") {
+		t.Fatalf("diagnostic must name the division by zero, got %v", err)
+	}
+	// Zero numerator: also unusable, also a usage error.
+	flipped := "BenchmarkDecisionBaseline/BenchmarkDecisionOverhead"
+	if err := gateRatio(f, flipped, 0.05); err == nil || !errors.Is(err, errRatioUsage) {
+		t.Fatalf("zero numerator must be a usage error, got %v", err)
 	}
 }
 
@@ -64,6 +103,9 @@ func TestDefaultGateCoversPlannerStack(t *testing.T) {
 	gated := []string{
 		"BenchmarkFig15PlanFull",
 		"BenchmarkFig15PlanIncremental",
+		"BenchmarkFig15PlanIncrementalReuse",
+		"BenchmarkFig15ParallelSolve/solve-workers=4",
+		"BenchmarkFig15ParallelSolve/sessions",
 		"BenchmarkPartitionerPlan",
 		"BenchmarkRemapSolve",
 		"BenchmarkLoadgenPlan",

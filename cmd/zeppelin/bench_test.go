@@ -31,12 +31,13 @@ func TestBenchCmdRejectsInvalidFlags(t *testing.T) {
 	wantBenchUsage(t, []string{"-ranks", "banana"}, "bad ranks")
 	wantBenchUsage(t, []string{"-ranks", "-8"}, "bad ranks")
 	wantBenchUsage(t, []string{"-ranks", "7"}, "multiple")
+	wantBenchUsage(t, []string{"-solve-workers", "-1"}, "-solve-workers")
 	wantBenchUsage(t, []string{"positional"}, "unexpected arguments")
 }
 
 // TestBenchCmdEmitsBenchfmtSchema: the -json artifact must round-trip
 // through the shared schema — the property that makes local runs and the
-// CI BENCH_pr4.json artifact directly comparable.
+// CI BENCH_pr8.json artifact directly comparable.
 func TestBenchCmdEmitsBenchfmtSchema(t *testing.T) {
 	var buf bytes.Buffer
 	if err := benchCmd(&buf, []string{"-ranks", "64", "-iters", "4", "-json"}, false); err != nil {

@@ -3,7 +3,7 @@
 // `go test -bench` text output into it and compares artifacts against a
 // checked-in baseline, and `zeppelin bench -json` emits its in-process
 // planner measurements in the same shape. One schema means a CI artifact
-// (BENCH_pr4.json) and a laptop run diff cleanly.
+// (BENCH_pr8.json) and a laptop run diff cleanly.
 package benchfmt
 
 import (

@@ -198,12 +198,27 @@ func MeanThroughput(ctx context.Context, cell Cell, sample Sampler, m trainer.Me
 	return means["cell"], nil
 }
 
-// fmtK renders a token count as the paper writes context lengths (64k).
+// fmtK renders a token count as the paper writes context lengths (64k,
+// 2M). Exact multiples keep their integer form; anything else rounds to
+// one decimal in the same unit, so a 100000-token budget renders as
+// "97.7k" instead of falling back to the raw integer mid-table (the old
+// behavior, which mixed "512k" and "100000" in one axis). Counts below
+// 1k stay raw — "512" reads better than "0.5k".
 func fmtK(tokens int) string {
-	if tokens%1024 == 0 {
-		return fmt.Sprintf("%dk", tokens/1024)
+	const k = 1024
+	const m = k * k
+	switch {
+	case tokens >= m && tokens%m == 0:
+		return fmt.Sprintf("%dM", tokens/m)
+	case tokens >= m:
+		return fmt.Sprintf("%.1fM", float64(tokens)/m)
+	case tokens%k == 0 && tokens >= k:
+		return fmt.Sprintf("%dk", tokens/k)
+	case tokens > k:
+		return fmt.Sprintf("%.1fk", float64(tokens)/k)
+	default:
+		return fmt.Sprintf("%d", tokens)
 	}
-	return fmt.Sprintf("%d", tokens)
 }
 
 // speedupRow prints one "method: tok/s (x.xx×)" block normalized to the

@@ -199,6 +199,37 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+// TestFmtKConsistentUnits pins the context-length formatter: exact
+// multiples keep the paper's integer form ("64k", "2M"), everything
+// else rounds to one decimal in the same unit instead of dropping back
+// to a raw integer (the old behavior rendered 100000 as "100000" next
+// to "512k" in the same axis). Sub-1k counts stay raw.
+func TestFmtKConsistentUnits(t *testing.T) {
+	cases := []struct {
+		tokens int
+		want   string
+	}{
+		{0, "0"},
+		{512, "512"},
+		{1023, "1023"},
+		{1024, "1k"},
+		{65536, "64k"},
+		{524288, "512k"},
+		{1536, "1.5k"},
+		{100000, "97.7k"},
+		{1047552, "1023k"},
+		{1048576, "1M"},
+		{2097152, "2M"},
+		{1572864, "1.5M"},
+		{2000000, "1.9M"},
+	}
+	for _, c := range cases {
+		if got := fmtK(c.tokens); got != c.want {
+			t.Errorf("fmtK(%d) = %q, want %q", c.tokens, got, c.want)
+		}
+	}
+}
+
 func TestWriteFunctionsProduceOutput(t *testing.T) {
 	var sb strings.Builder
 	WriteFig1(&sb)

@@ -12,8 +12,11 @@
 //
 // The patch path is engineered for latency: the previous placement lives
 // in a roster sorted by sequence ID, so the batch delta is a two-pointer
-// merge (no per-call map churn), plan copies share one flat backing
-// array, and all transient state sits in reused scratch buffers. Patched
+// merge (no per-call map churn); feasibility is judged on the load vector
+// alone and the patched plan is then built in a single pass over one flat
+// backing array, with all transient state in reused scratch buffers (and,
+// under IncrementalConfig.ReusePlans, the plan itself in a reused arena —
+// the steady state then allocates nothing at all). Patched
 // plans are cost-equal to full solves within the configured drift (the
 // golden tests pin this), and every fast-path decision is deterministic,
 // so campaigns running over an Incremental planner remain
@@ -25,6 +28,7 @@ import (
 	"hash/maphash"
 	"math"
 	"slices"
+	"sort"
 
 	"zeppelin/internal/seq"
 )
@@ -112,6 +116,19 @@ type IncrementalConfig struct {
 	// determinism guarantees are unchanged. Nil keeps the planner fully
 	// private (the historical behavior).
 	Shared *SharedCache
+	// ReusePlans opts the patch path into plan-arena reuse: patched plans
+	// are built into two ping-ponged arenas owned by the planner instead
+	// of freshly allocated, making steady-state re-planning
+	// allocation-free (0 allocs/op once buffer sizes stabilize, pinned by
+	// tests). The plans themselves are bit-identical to the default
+	// mode's. In exchange, a patched Result is only valid until the
+	// second following Plan call (the arena it lives in is then rebuilt);
+	// full solves and cache hits still return immutable heap plans. And
+	// patched plans are not inserted into the keyed cache — arena plans
+	// are mutable, so a verbatim repeat of a patched batch re-patches
+	// instead of hitting the cache. Callers that retain plans across
+	// iterations (campaigns, the fig15 sweep) must leave this off.
+	ReusePlans bool
 }
 
 // Fast-path defaults; see IncrementalConfig.
@@ -159,6 +176,25 @@ type Incremental struct {
 	removed  []placedSeq
 	loadsBuf []int
 	share    []int
+	rmIDs    []int        // removed-ID set, ascending (roster order)
+	arrHead  []int        // per-rank arrival chain heads (index into added)
+	arrNext  []int        // arrival chain links
+	arenas   [2]planArena // ReusePlans ping-pong targets
+	arenaIdx int
+}
+
+// planArena is one reusable patched-plan target: the Plan struct, the
+// flat backing array its local lists slice into, the ring list, and the
+// Result wrapper. Under ReusePlans two arenas alternate so the previous
+// patch's plan stays readable (it is the patch base) while the next one
+// builds; without ReusePlans a zero-value arena is used once and its
+// buffers escape into the immutable returned Result.
+type planArena struct {
+	plan  *seq.Plan
+	flat  []seq.Sequence
+	rings []seq.Ring
+	s0    []int
+	res   Result
 }
 
 // placedSeq is one roster entry: a sequence and where the plan holds it.
@@ -266,7 +302,11 @@ func (p *Incremental) Plan(cfg Config, batch []seq.Sequence) (*Result, PlanStats
 	if res, st, ok := p.tryPatch(cfg, batch); ok {
 		p.counters.Patched++
 		p.patchRun++
-		p.insertCache(key, cfg, batch, res)
+		// Arena-built plans are mutable (rebuilt two patches later), so
+		// only the default mode's immutable plans enter the keyed cache.
+		if !p.inc.ReusePlans {
+			p.insertCache(key, cfg, batch, res)
+		}
 		return res, st, nil
 	}
 
@@ -446,25 +486,32 @@ func (p *Incremental) tryPatch(cfg Config, batch []seq.Sequence) (*Result, PlanS
 		}
 	}
 
-	// Work on copies so a mid-patch capacity failure leaves no trace.
-	plan := p.copyPlanFlat(p.res.Plan)
+	// Phase 1 — loads and feasibility, touching only scratch so a decline
+	// leaves no trace. The plan is not built yet: placement needs only
+	// the load vector, and deferring construction means a failed patch
+	// costs no plan copy and a successful one is built in a single pass.
+	base := p.res.Plan
 	loads := growI(p.loadsBuf, len(p.loads))
 	p.loadsBuf = loads
 	copy(loads, p.loads)
-
+	rmIDs := p.rmIDs[:0]
 	for _, rm := range removed {
+		rmIDs = append(rmIDs, rm.s.ID) // roster order: ascending IDs
 		if rm.ring {
-			if !cutRing(plan, rm.s.ID, loads, &p.share) {
+			if !uncountRing(base, rm.s.ID, loads, &p.share) {
+				p.rmIDs = rmIDs
 				return nil, PlanStats{}, false
 			}
 			continue
 		}
-		if !cutLocal(plan, int(rm.rank), rm.s.ID, loads) {
+		if !uncountLocal(base, int(rm.rank), rm.s.ID, loads) {
+			p.rmIDs = rmIDs
 			return nil, PlanStats{}, false
 		}
 	}
+	p.rmIDs = rmIDs
 
-	// Greedy re-placement of arrivals, longest first — the same
+	// Greedy placement of arrivals, longest first — the same
 	// least-loaded criterion Alg. 2 uses for the local zone. The chosen
 	// rank is written back into the next roster through each arrival's
 	// remembered slot.
@@ -480,7 +527,6 @@ func (p *Incremental) tryPatch(cfg Config, batch []seq.Sequence) (*Result, PlanS
 		if loads[d]+a.s.Len > L {
 			return nil, PlanStats{}, false
 		}
-		plan.Local[d] = append(plan.Local[d], a.s)
 		loads[d] += a.s.Len
 		next[a.pos].rank = int32(d)
 	}
@@ -492,7 +538,19 @@ func (p *Incremental) tryPatch(cfg Config, batch []seq.Sequence) (*Result, PlanS
 		return nil, PlanStats{}, false
 	}
 
-	res := &Result{Plan: plan, S1: p.res.S1, S0: append([]int(nil), p.res.S0...)}
+	// Phase 2 — build the patched plan in one pass: survivors copied in
+	// base order minus the removed IDs, arrivals appended per rank in
+	// placement order (identical content to cutting then appending).
+	// Under ReusePlans the target is the next ping-pong arena; otherwise
+	// a zero-value arena whose buffers escape into the immutable Result.
+	var arena *planArena
+	if p.inc.ReusePlans {
+		arena = &p.arenas[p.arenaIdx]
+		p.arenaIdx ^= 1
+	} else {
+		arena = &planArena{}
+	}
+	res := p.buildPatched(arena, base, len(batch), added, next, rmIDs)
 
 	// Commit: swap in the next roster and loads; the old buffers become
 	// scratch for the following patch.
@@ -505,6 +563,104 @@ func (p *Incremental) tryPatch(cfg Config, batch []seq.Sequence) (*Result, PlanS
 		RemovedSeqs: len(removed),
 		DeltaTokens: deltaTokens,
 	}, true
+}
+
+// buildPatched assembles the patched plan into an arena. Every local
+// list slices into one flat backing array (capped three-index, so a
+// stray external append cannot clobber a neighbor), rings are the base's
+// minus removals, and the Result wrapper reuses the arena's S0 buffer.
+// nLocal bounds the flat array: every local entry is a batch member.
+func (p *Incremental) buildPatched(a *planArena, base *seq.Plan, nLocal int, added []addedSeq, next []placedSeq, rmIDs []int) *Result {
+	world := base.World
+	// Per-rank arrival chains, linked in reverse so traversal from each
+	// head yields placement order.
+	p.arrHead = growI(p.arrHead, world)
+	for i := range p.arrHead {
+		p.arrHead[i] = -1
+	}
+	p.arrNext = growI(p.arrNext, len(added))
+	for i := len(added) - 1; i >= 0; i-- {
+		r := int(next[added[i].pos].rank)
+		p.arrNext[i] = p.arrHead[r]
+		p.arrHead[r] = i
+	}
+
+	if a.plan == nil || a.plan.World != world {
+		a.plan = seq.NewPlan(world)
+	}
+	plan := a.plan
+	if cap(a.flat) < nLocal {
+		a.flat = make([]seq.Sequence, 0, nLocal)
+	}
+	flat := a.flat[:0]
+	if cap(a.rings) < len(base.Rings) {
+		a.rings = make([]seq.Ring, 0, len(base.Rings))
+	}
+	rings := a.rings[:0]
+	for _, ring := range base.Rings {
+		if !idRemoved(rmIDs, ring.Seq.ID) {
+			rings = append(rings, ring)
+		}
+	}
+	a.rings = rings
+	plan.Rings = rings
+	for r := 0; r < world; r++ {
+		start := len(flat)
+		for _, s := range base.Local[r] {
+			if !idRemoved(rmIDs, s.ID) {
+				flat = append(flat, s)
+			}
+		}
+		for i := p.arrHead[r]; i >= 0; i = p.arrNext[i] {
+			flat = append(flat, added[i].s)
+		}
+		if len(flat) == start {
+			plan.Local[r] = nil
+		} else {
+			plan.Local[r] = flat[start:len(flat):len(flat)]
+		}
+	}
+	a.flat = flat
+
+	a.s0 = growI(a.s0, len(p.res.S0))
+	copy(a.s0, p.res.S0)
+	a.res = Result{Plan: plan, S1: p.res.S1, S0: a.s0}
+	return &a.res
+}
+
+// idRemoved reports whether id is in the ascending removed-ID set.
+// Roster IDs are unique (rosterDup gates patching), so a global set is
+// zone-correct.
+func idRemoved(rmIDs []int, id int) bool {
+	i := sort.SearchInts(rmIDs, id)
+	return i < len(rmIDs) && rmIDs[i] == id
+}
+
+// uncountLocal subtracts a departed local sequence from its rank's load,
+// reporting false if the roster and plan disagree (patch declines).
+func uncountLocal(plan *seq.Plan, rank, id int, loads []int) bool {
+	for _, s := range plan.Local[rank] {
+		if s.ID == id {
+			loads[rank] -= s.Len
+			return true
+		}
+	}
+	return false
+}
+
+// uncountRing subtracts a departed ring's per-member token shares.
+func uncountRing(plan *seq.Plan, id int, loads []int, share *[]int) bool {
+	for _, ring := range plan.Rings {
+		if ring.Seq.ID != id {
+			continue
+		}
+		*share = ring.TokensPerRankInto(*share)
+		for j, r := range ring.Ranks {
+			loads[r] -= (*share)[j]
+		}
+		return true
+	}
+	return false
 }
 
 // diff computes the delta between the base roster and the incoming batch
@@ -569,62 +725,6 @@ func (p *Incremental) diff(batch []seq.Sequence) (removed []placedSeq, added []a
 	p.removed = removed
 	p.added = added
 	return removed, added, next, deltaTokens, total, true
-}
-
-// copyPlanFlat deep-copies a plan's structure through one flat backing
-// array, so the copy itself costs O(sequences) with O(1) allocations
-// instead of one per rank. Per-rank slices are capped (three-index), so
-// a later cut or arrival append reallocates just that rank's list —
-// O(delta) small allocations per patch. Ring rank/weight slices are
-// shared — they are immutable once built.
-func (p *Incremental) copyPlanFlat(src *seq.Plan) *seq.Plan {
-	total := 0
-	for _, ls := range src.Local {
-		total += len(ls)
-	}
-	flat := make([]seq.Sequence, 0, total)
-	out := seq.NewPlan(src.World)
-	for r, ls := range src.Local {
-		if len(ls) == 0 {
-			continue
-		}
-		start := len(flat)
-		flat = append(flat, ls...)
-		out.Local[r] = flat[start:len(flat):len(flat)]
-	}
-	out.Rings = append([]seq.Ring(nil), src.Rings...)
-	return out
-}
-
-// cutLocal removes a sequence from a rank's local list, updating loads.
-// The slice is copy-on-write (three-index append) so the source plan the
-// backing array may still serve stays intact.
-func cutLocal(plan *seq.Plan, rank, id int, loads []int) bool {
-	ls := plan.Local[rank]
-	for i, s := range ls {
-		if s.ID == id {
-			loads[rank] -= s.Len
-			plan.Local[rank] = append(ls[:i:i], ls[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-// cutRing removes the ring carrying a sequence, updating member loads.
-func cutRing(plan *seq.Plan, id int, loads []int, share *[]int) bool {
-	for i, ring := range plan.Rings {
-		if ring.Seq.ID != id {
-			continue
-		}
-		*share = ring.TokensPerRankInto(*share)
-		for j, r := range ring.Ranks {
-			loads[r] -= (*share)[j]
-		}
-		plan.Rings = append(plan.Rings[:i:i], plan.Rings[i+1:]...)
-		return true
-	}
-	return false
 }
 
 // effImbalance is LoadImbalance over a precomputed load vector.

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"zeppelin/internal/cluster"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/workload"
+)
+
+// TestThresholdChain pins the candidate space the parallel solve
+// speculates over: start, then distinct lengths strictly descending.
+func TestThresholdChain(t *testing.T) {
+	var p Partitioner
+	sorted := []seq.Sequence{
+		{ID: 0, Len: 9000}, {ID: 1, Len: 4096}, {ID: 2, Len: 4096},
+		{ID: 3, Len: 1000}, {ID: 4, Len: 1000}, {ID: 5, Len: 7},
+	}
+	got := p.thresholdChain(sorted, 8192)
+	want := []int{8192, 4096, 1000, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	// A sequence at or above the start threshold contributes nothing.
+	got = p.thresholdChain(sorted[:1], 8192)
+	if !reflect.DeepEqual(got, []int{8192}) {
+		t.Fatalf("chain = %v, want [8192]", got)
+	}
+}
+
+// TestParallelSolveMatchesSerial is the tentpole guarantee: for every
+// worker count the parallel solve returns a Result bit-identical to the
+// serial one — same plan structure, same converged thresholds — across
+// workloads, cluster shapes, capacity pressure (forcing threshold
+// retries), and degraded effective-speed views.
+func TestParallelSolveMatchesSerial(t *testing.T) {
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	type cell struct {
+		name     string
+		spec     cluster.Spec
+		nodes    int
+		capacity int
+		fill     float64 // fraction of aggregate capacity to sample
+		speeds   bool
+	}
+	cells := []cell{
+		{"github-roomy", cluster.ClusterA, 2, 8192, 0.5, false},
+		{"github-tight", cluster.ClusterA, 2, 2048, 0.95, false},
+		{"arxiv-4node", cluster.ClusterA, 4, 4096, 0.9, false},
+		{"clusterC", cluster.ClusterC, 2, 4096, 0.8, false},
+		{"degraded", cluster.ClusterA, 2, 4096, 0.7, true},
+	}
+	for _, cl := range cells {
+		t.Run(cl.name, func(t *testing.T) {
+			c := cluster.MustNew(cl.spec, cl.nodes)
+			speeds := []float64(nil)
+			if cl.speeds {
+				speeds = make([]float64, c.World())
+				for i := range speeds {
+					speeds[i] = 1
+				}
+				speeds[1] = 0.4 // one straggler
+			}
+			for seedv := int64(1); seedv <= 3; seedv++ {
+				rng := rand.New(rand.NewSource(seedv))
+				budget := int(cl.fill * float64(c.World()*cl.capacity))
+				batch := workload.GitHub.Batch(budget, rng)
+
+				serial, err := New(Config{Cluster: c, CapacityTokens: cl.capacity, Speeds: speeds})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := serial.Plan(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range workerCounts {
+					par, err := New(Config{Cluster: c, CapacityTokens: cl.capacity, Speeds: speeds, SolveWorkers: w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Twice on the same partitioner: scratch reuse across
+					// calls must not perturb results either.
+					for pass := 0; pass < 2; pass++ {
+						got, err := par.Plan(batch)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", w, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("seed %d workers=%d pass %d: parallel result differs from serial", seedv, w, pass)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSolveRetryPressure forces deep threshold-retry chains (the
+// speculative path) and checks the plan still validates and matches
+// serial: every sequence is exactly capacity-sized, so the first several
+// candidates fail.
+func TestParallelSolveRetryPressure(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 2)
+	var batch []seq.Sequence
+	for i := 0; i < 16; i++ {
+		batch = append(batch, seq.Sequence{ID: i, Len: 1024})
+	}
+	serial := newPart(t, cluster.ClusterA, 2, 1024)
+	want, err := serial.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Config{Cluster: c, CapacityTokens: 1024, SolveWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Plan(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Plan.Validate(batch); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel result differs from serial under retry pressure")
+	}
+}
+
+// TestParallelSolveErrors: validation errors surface identically with
+// workers configured.
+func TestParallelSolveErrors(t *testing.T) {
+	c := cluster.MustNew(cluster.ClusterA, 1)
+	p, err := New(Config{Cluster: c, CapacityTokens: 1000, SolveWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan([]seq.Sequence{{ID: 0, Len: 9000}}); err == nil {
+		t.Fatal("oversized batch must fail under parallel solve")
+	}
+	if _, err := p.Plan([]seq.Sequence{{ID: 0, Len: 0}}); err == nil {
+		t.Fatal("zero-length sequence must fail under parallel solve")
+	}
+}

@@ -8,18 +8,32 @@
 // would exceed capacity, which guarantees a feasible plan whenever the
 // batch fits in aggregate memory.
 //
+// The solve parallelizes across the two independent axes the algorithms
+// expose. Each Alg. 1 threshold retry is a pure function of the sorted
+// batch and the candidate threshold, and the retry chain — P·L, then the
+// distinct sequence lengths in descending order — is known up front, so
+// SolveWorkers > 1 evaluates candidate thresholds speculatively in waves
+// and keeps the first (highest-threshold) success, which is exactly the
+// threshold the serial loop converges to. The per-node Alg. 2 solves
+// depend only on their node's assignment and inter-ring load, so they fan
+// out across the same worker pool and merge in node order. Both paths are
+// bit-identical to the serial solve by construction, and tests pin it.
+//
 // A Partitioner owns reusable scratch buffers: repeated Plan calls (the
 // per-iteration hot path of streaming campaigns) and the threshold-retry
 // loops inside one call allocate almost nothing beyond the plan they
-// return. The Incremental planner (incremental.go) layers a keyed plan
+// return. Parallel workers get their own scratch, also reused across
+// calls. The Incremental planner (incremental.go) layers a keyed plan
 // cache and delta patching on top for the re-planning fast path.
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"zeppelin/internal/cluster"
+	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 )
 
@@ -37,6 +51,14 @@ type Config struct {
 	// checks stay in raw tokens (memory does not speed up). Nil reproduces
 	// the paper's homogeneous-cluster behavior exactly.
 	Speeds []float64
+	// SolveWorkers sets the parallelism of the full solve: candidate
+	// thresholds of the Alg. 1 retry loop are evaluated speculatively and
+	// the per-node Alg. 2 solves fan out across this many pool workers.
+	// The result is bit-identical to the serial solve for every value.
+	// <= 1 runs the historical single-threaded path. SolveWorkers does
+	// not make a Partitioner safe for concurrent use — the parallelism is
+	// internal to one Plan call.
+	SolveWorkers int
 }
 
 // validate checks a configuration.
@@ -62,27 +84,25 @@ func (cfg *Config) validate() error {
 
 // Partitioner runs the two-level hierarchical strategy. The zero value is
 // unusable; construct with New. Not safe for concurrent use (the scratch
-// buffers are shared across calls).
+// buffers are shared across calls), including when SolveWorkers > 1 —
+// that parallelism lives inside a single Plan call.
 type Partitioner struct {
 	cfg Config
 
-	// Scratch reused across Plan calls and threshold retries. None of
-	// these are retained by returned plans.
+	// Scratch reused across Plan calls. None of these are retained by
+	// returned plans.
 	sorted     []seq.Sequence
-	z01, z2    []seq.Sequence // Alg. 1 zone split
-	z0, z1     []seq.Sequence // Alg. 2 zone split
-	nodeLoad   []int
-	nodeSeqs   [][]seq.Sequence
-	inters     []interPlacement
-	interShare [][]int
-	devLoad    []int
-	local      [][]seq.Sequence
-	rings      []seq.Ring
-	share      []int
-	pick       []int     // leastLoaded result scratch
-	eff        []float64 // effective time-load scratch
 	nodeSpeed  []float64
-	devSpeed   []float64
+	interShare [][]int
+	share      []int // inter-ring emission scratch
+	chain      []int // Alg. 1 candidate threshold chain
+	waveOK     []bool
+
+	inter  interScratch   // serial Alg. 1 scratch
+	intra  intraScratch   // serial Alg. 2 scratch
+	winter []interScratch // parallel: per-wave-slot Alg. 1 scratch
+	wintra []intraScratch // parallel: per-worker Alg. 2 scratch
+	out    []nodeOut      // per-node Alg. 2 results, merged in node order
 }
 
 // New validates the configuration.
@@ -121,6 +141,43 @@ type interPlacement struct {
 	nodes []int
 }
 
+// pickScratch holds the least-loaded selection buffers; every solve
+// context (serial or per-worker) owns one.
+type pickScratch struct {
+	pick []int
+	eff  []float64
+}
+
+// interScratch is one Alg. 1 evaluation context: evalInter is a pure
+// function of (sorted, threshold) writing only here, so candidate
+// thresholds evaluate concurrently on distinct scratch.
+type interScratch struct {
+	pickScratch
+	nodeLoad []int
+	nodeSeqs [][]seq.Sequence
+	inters   []interPlacement
+	z01, z2  []seq.Sequence
+	share    []int
+}
+
+// intraScratch is one Alg. 2 working context (retry-loop state that does
+// not outlive the node's solve); results land in a nodeOut.
+type intraScratch struct {
+	pickScratch
+	devLoad  []int
+	devSpeed []float64
+	z0, z1   []seq.Sequence
+	share    []int
+}
+
+// nodeOut is one node's Alg. 2 result, written by whichever worker solved
+// the node and merged into the plan serially in node order.
+type nodeOut struct {
+	s0    int
+	local [][]seq.Sequence
+	rings []seq.Ring
+}
+
 // Plan partitions a batch across the cluster. It errors if the batch
 // cannot fit (total tokens exceed aggregate capacity) or if any single
 // sequence exceeds the cluster-wide token capacity. The returned plan
@@ -145,10 +202,19 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 	// hosting stragglers.
 	nodeSpeed := p.nodeSpeeds(N)
 
-	nodeSeqs, inters, s1, err := p.interPartition(p.sorted, N, P, L, nodeSpeed)
+	workers := p.cfg.SolveWorkers
+	var win *interScratch
+	var s1 int
+	var err error
+	if workers > 1 {
+		win, s1, err = p.interParallel(p.sorted, N, P, L, nodeSpeed, workers)
+	} else {
+		win, s1, err = p.interSerial(p.sorted, N, P, L, nodeSpeed)
+	}
 	if err != nil {
 		return nil, err
 	}
+	nodeSeqs, inters := win.nodeSeqs, win.inters
 
 	plan := seq.NewPlan(c.World())
 	res := &Result{Plan: plan, S1: s1, S0: make([]int, N)}
@@ -174,12 +240,36 @@ func (p *Partitioner) Plan(batch []seq.Sequence) (*Result, error) {
 		}
 	}
 
-	for n := 0; n < N; n++ {
-		s0, err := p.intraPartition(plan, n, nodeSeqs[n], interShare[n])
-		if err != nil {
-			return nil, fmt.Errorf("partition: node %d: %w", n, err)
+	// Per-node Alg. 2 solves: independent given (nodeSeqs[n],
+	// interShare[n]), so they fan out when workers > 1 and merge below in
+	// node order either way.
+	out := p.nodeOutBuf(N, P)
+	if workers > 1 {
+		ws := p.intraWorkers(workers)
+		err = runner.ForEachWorker(context.Background(), workers, N, func(w, n int) error {
+			if e := p.intraNode(&ws[w], &out[n], n, nodeSeqs[n], interShare[n]); e != nil {
+				return fmt.Errorf("partition: node %d: %w", n, e)
+			}
+			return nil
+		})
+	} else {
+		for n := 0; n < N; n++ {
+			if e := p.intraNode(&p.intra, &out[n], n, nodeSeqs[n], interShare[n]); e != nil {
+				err = fmt.Errorf("partition: node %d: %w", n, e)
+				break
+			}
 		}
-		res.S0[n] = s0
+	}
+	if err != nil {
+		return nil, err
+	}
+	for n := 0; n < N; n++ {
+		ranks := c.RanksOfNode(n)
+		for d := 0; d < P; d++ {
+			plan.Local[ranks[d]] = append(plan.Local[ranks[d]], out[n].local[d]...)
+		}
+		plan.Rings = append(plan.Rings, out[n].rings...)
+		res.S0[n] = out[n].s0
 	}
 	return res, nil
 }
@@ -219,129 +309,232 @@ func (p *Partitioner) interShareBuf(n, dev int) [][]int {
 	return p.interShare
 }
 
-// interPartition is Algorithm 1. sorted must be in descending length
-// order. It returns the per-node whole-sequence assignments, the chunked
-// inter-node placements, and the converged threshold s1. nodeSpeed, when
-// non-nil, weighs every greedy load comparison by each node's effective
-// speed (nil reproduces the homogeneous behavior bit for bit). The
-// returned slices are partitioner scratch, valid until the next Plan.
-func (p *Partitioner) interPartition(sorted []seq.Sequence, n, pp, l int, nodeSpeed []float64) (nodeSeqs [][]seq.Sequence, inters []interPlacement, s1 int, err error) {
-	s1 = pp * l
-	p.nodeLoad = growI(p.nodeLoad, n)
-	if cap(p.nodeSeqs) < n {
-		p.nodeSeqs = make([][]seq.Sequence, n)
+// nodeOutBuf sizes the per-node result buffers, truncating prior contents.
+func (p *Partitioner) nodeOutBuf(n, dev int) []nodeOut {
+	if cap(p.out) < n {
+		p.out = make([]nodeOut, n)
 	}
-	p.nodeSeqs = p.nodeSeqs[:n]
-	for iter := 0; ; iter++ {
-		if iter > len(sorted)+2 {
-			return nil, nil, 0, fmt.Errorf("inter-node partitioning did not converge")
+	p.out = p.out[:n]
+	for i := range p.out {
+		o := &p.out[i]
+		if cap(o.local) < dev {
+			o.local = make([][]seq.Sequence, dev)
 		}
-		nodeLoad := p.nodeLoad
-		for i := range nodeLoad {
-			nodeLoad[i] = 0
+		o.local = o.local[:dev]
+		for d := range o.local {
+			o.local[d] = o.local[d][:0]
 		}
-		nodeSeqs = p.nodeSeqs
-		for i := range nodeSeqs {
-			nodeSeqs[i] = nodeSeqs[i][:0]
-		}
-		inters = p.inters[:0]
-
-		z01, z2 := p.z01[:0], p.z2[:0]
-		for _, s := range sorted {
-			if s.Len >= s1 {
-				z2 = append(z2, s)
-			} else {
-				z01 = append(z01, s)
-			}
-		}
-		p.z01, p.z2 = z01, z2
-		if len(z2) > 0 {
-			sAvg := float64(seq.TotalLen(z2)) / float64(n)
-			for _, s := range z2 {
-				k := int(math.Ceil(float64(s.Len) / sAvg))
-				if k < 1 {
-					k = 1
-				}
-				if k > n {
-					k = n
-				}
-				// leastLoaded returns scratch; copy because the placement
-				// outlives this call's next selection.
-				nodes := append([]int(nil), p.leastLoaded(nodeLoad, k, nodeSpeed)...)
-				share := seq.SplitEvenInto(p.share, s.Len, k)
-				if nodeSpeed != nil {
-					// The emitted ring carries speed-proportional rank
-					// weights, so each node's real token share is its speed
-					// share — account (and capacity-check) the same way.
-					w := make([]float64, k)
-					for i, nd := range nodes {
-						w[i] = nodeSpeed[nd]
-					}
-					share = seq.SplitWeightedInto(p.share, s.Len, w)
-				}
-				p.share = share
-				for i, nd := range nodes {
-					nodeLoad[nd] += share[i]
-				}
-				inters = append(inters, interPlacement{s: s, nodes: nodes})
-			}
-		}
-		p.inters = inters
-		retry := false
-		for _, s := range z01 {
-			idx := argminLoad(nodeLoad, nodeSpeed)
-			if s.Len+nodeLoad[idx] > pp*l {
-				// z01 is sorted descending, so its first element is the
-				// maximum; lowering s1 to it promotes it to z2.
-				s1 = z01[0].Len
-				retry = true
-				break
-			}
-			nodeSeqs[idx] = append(nodeSeqs[idx], s)
-			nodeLoad[idx] += s.Len
-		}
-		if !retry {
-			return nodeSeqs, inters, s1, nil
-		}
+		o.rings = o.rings[:0]
 	}
+	return p.out
 }
 
-// intraPartition is Algorithm 2 for one node: it splits intra-node-zone
+// intraWorkers sizes the per-worker Alg. 2 scratch pool.
+func (p *Partitioner) intraWorkers(w int) []intraScratch {
+	if cap(p.wintra) < w {
+		ws := make([]intraScratch, w)
+		copy(ws, p.wintra)
+		p.wintra = ws
+	}
+	p.wintra = p.wintra[:w]
+	return p.wintra
+}
+
+// thresholdChain builds the Alg. 1 candidate threshold sequence: the
+// serial retry loop starts at P·L and, on each capacity failure, lowers
+// the threshold to the longest sequence below it — i.e. it walks P·L
+// followed by the distinct sequence lengths in strictly descending order.
+// The final candidate always succeeds (every sequence is then inter-zone
+// and chunked placement never capacity-checks), so the chain is the
+// complete space the serial loop can visit.
+func (p *Partitioner) thresholdChain(sorted []seq.Sequence, start int) []int {
+	chain := append(p.chain[:0], start)
+	last := start
+	for _, s := range sorted { // descending, so distinct lengths emerge in order
+		if s.Len < last {
+			chain = append(chain, s.Len)
+			last = s.Len
+		}
+	}
+	p.chain = chain
+	return chain
+}
+
+// interSerial walks the candidate chain one threshold at a time on the
+// partitioner's own scratch — the historical single-threaded Alg. 1.
+func (p *Partitioner) interSerial(sorted []seq.Sequence, n, pp, l int, nodeSpeed []float64) (*interScratch, int, error) {
+	chain := p.thresholdChain(sorted, pp*l)
+	for _, s1 := range chain {
+		if evalInter(&p.inter, sorted, n, pp, l, s1, nodeSpeed) {
+			return &p.inter, s1, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("inter-node partitioning did not converge")
+}
+
+// interParallel evaluates candidate thresholds speculatively, `workers`
+// per wave, each on its own scratch, and keeps the first success in chain
+// order — the same threshold interSerial converges to, with identical
+// placements, since each evaluation is a pure function of its inputs.
+// The first wave is a single candidate: the initial P·L threshold almost
+// always succeeds, and speculating past it would burn worker-time on
+// evaluations the serial loop never runs. Only once a retry is actually
+// needed do the waves widen to `workers`.
+func (p *Partitioner) interParallel(sorted []seq.Sequence, n, pp, l int, nodeSpeed []float64, workers int) (*interScratch, int, error) {
+	chain := p.thresholdChain(sorted, pp*l)
+	if cap(p.winter) < workers {
+		ws := make([]interScratch, workers)
+		copy(ws, p.winter)
+		p.winter = ws
+	}
+	p.winter = p.winter[:workers]
+	p.waveOK = growB(p.waveOK, workers)
+	for lo := 0; lo < len(chain); {
+		width := workers
+		if lo == 0 {
+			width = 1
+		}
+		hi := min(lo+width, len(chain))
+		if hi-lo == 1 {
+			// One candidate: evaluate inline, no pool round-trip.
+			if evalInter(&p.winter[0], sorted, n, pp, l, chain[lo], nodeSpeed) {
+				return &p.winter[0], chain[lo], nil
+			}
+			lo = hi
+			continue
+		}
+		ok := p.waveOK[:hi-lo]
+		// Scratch is indexed by wave slot, not worker id: the pool hands
+		// slots to workers dynamically, and a worker that picked up two
+		// slots must not clobber the first one's result.
+		_ = runner.ForEach(context.Background(), workers, hi-lo, func(i int) error {
+			ok[i] = evalInter(&p.winter[i], sorted, n, pp, l, chain[lo+i], nodeSpeed)
+			return nil
+		})
+		for i := range ok {
+			if ok[i] {
+				return &p.winter[i], chain[lo+i], nil
+			}
+		}
+		lo = hi
+	}
+	return nil, 0, fmt.Errorf("inter-node partitioning did not converge")
+}
+
+// evalInter is one Algorithm 1 evaluation at a fixed threshold s1: it
+// splits the zones, chunks z2 sequences across least-loaded nodes, and
+// greedily places z01 sequences, reporting false as soon as a placement
+// would exceed node capacity. It reads nothing but its arguments and
+// writes nothing but scr, so concurrent calls on distinct scratch are
+// deterministic. sorted must be in descending length order; on success
+// scr.nodeSeqs and scr.inters hold the assignment, valid until the
+// scratch is reused.
+func evalInter(scr *interScratch, sorted []seq.Sequence, n, pp, l, s1 int, nodeSpeed []float64) bool {
+	scr.nodeLoad = growI(scr.nodeLoad, n)
+	nodeLoad := scr.nodeLoad
+	for i := range nodeLoad {
+		nodeLoad[i] = 0
+	}
+	if cap(scr.nodeSeqs) < n {
+		scr.nodeSeqs = make([][]seq.Sequence, n)
+	}
+	scr.nodeSeqs = scr.nodeSeqs[:n]
+	nodeSeqs := scr.nodeSeqs
+	for i := range nodeSeqs {
+		nodeSeqs[i] = nodeSeqs[i][:0]
+	}
+	inters := scr.inters[:0]
+
+	z01, z2 := scr.z01[:0], scr.z2[:0]
+	for _, s := range sorted {
+		if s.Len >= s1 {
+			z2 = append(z2, s)
+		} else {
+			z01 = append(z01, s)
+		}
+	}
+	scr.z01, scr.z2 = z01, z2
+	if len(z2) > 0 {
+		sAvg := float64(seq.TotalLen(z2)) / float64(n)
+		for _, s := range z2 {
+			k := int(math.Ceil(float64(s.Len) / sAvg))
+			if k < 1 {
+				k = 1
+			}
+			if k > n {
+				k = n
+			}
+			// leastLoaded returns scratch; copy because the placement
+			// outlives this call's next selection.
+			nodes := append([]int(nil), scr.leastLoaded(nodeLoad, k, nodeSpeed)...)
+			share := seq.SplitEvenInto(scr.share, s.Len, k)
+			if nodeSpeed != nil {
+				// The emitted ring carries speed-proportional rank
+				// weights, so each node's real token share is its speed
+				// share — account (and capacity-check) the same way.
+				w := make([]float64, k)
+				for i, nd := range nodes {
+					w[i] = nodeSpeed[nd]
+				}
+				share = seq.SplitWeightedInto(scr.share, s.Len, w)
+			}
+			scr.share = share
+			for i, nd := range nodes {
+				nodeLoad[nd] += share[i]
+			}
+			inters = append(inters, interPlacement{s: s, nodes: nodes})
+		}
+	}
+	scr.inters = inters
+	for _, s := range z01 {
+		idx := argminLoad(nodeLoad, nodeSpeed)
+		if s.Len+nodeLoad[idx] > pp*l {
+			// z01 is sorted descending, so its first element is the
+			// longest; the serial loop's next threshold is exactly the
+			// next chain candidate.
+			return false
+		}
+		nodeSeqs[idx] = append(nodeSeqs[idx], s)
+		nodeLoad[idx] += s.Len
+	}
+	return true
+}
+
+// intraNode is Algorithm 2 for one node: it splits intra-node-zone
 // sequences into quadratic-cost-balanced fragments (forming intra-node
-// rings) and packs local-zone sequences onto the least-loaded devices.
-// interShare carries the token loads already imposed by inter-node rings.
-// It appends to plan and returns the converged threshold s0.
-func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Sequence, interShare []int) (int, error) {
+// rings) and packs local-zone sequences onto the least-loaded devices,
+// iteratively lowering the zone threshold on capacity failure. interShare
+// carries the token loads already imposed by inter-node rings. Working
+// state lives in scr (per-worker under a parallel solve); the node's
+// placement lands in out. It reads only immutable partitioner state
+// (cfg, cluster topology), so distinct nodes solve concurrently.
+func (p *Partitioner) intraNode(scr *intraScratch, out *nodeOut, node int, assigned []seq.Sequence, interShare []int) error {
 	c := p.cfg.Cluster
 	P, L := c.GPUsPerNode, p.cfg.CapacityTokens
 	ranks := c.RanksOfNode(node)
 	var devSpeed []float64
 	if p.cfg.Speeds != nil {
-		p.devSpeed = growF(p.devSpeed, P)
-		devSpeed = p.devSpeed
+		scr.devSpeed = growF(scr.devSpeed, P)
+		devSpeed = scr.devSpeed
 		for d, r := range ranks {
 			devSpeed[d] = p.cfg.Speeds[r]
 		}
 	}
-	p.devLoad = growI(p.devLoad, P)
-	if cap(p.local) < P {
-		p.local = make([][]seq.Sequence, P)
-	}
-	p.local = p.local[:P]
+	scr.devLoad = growI(scr.devLoad, P)
 	s0 := L
 	for iter := 0; ; iter++ {
 		if iter > len(assigned)+2 {
-			return 0, fmt.Errorf("intra-node partitioning did not converge")
+			return fmt.Errorf("intra-node partitioning did not converge")
 		}
-		devLoad := p.devLoad
+		devLoad := scr.devLoad
 		copy(devLoad, interShare)
-		local := p.local
+		local := out.local
 		for i := range local {
 			local[i] = local[i][:0]
 		}
-		rings := p.rings[:0]
+		rings := out.rings[:0]
 
-		z0, z1 := p.z0[:0], p.z1[:0]
+		z0, z1 := scr.z0[:0], scr.z1[:0]
 		for _, s := range assigned { // assigned preserves descending order
 			if s.Len >= s0 {
 				z1 = append(z1, s)
@@ -349,7 +542,7 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				z0 = append(z0, s)
 			}
 		}
-		p.z0, p.z1 = z0, z1
+		scr.z0, scr.z1 = z0, z1
 		if len(z1) > 0 {
 			var cAvg float64
 			for _, s := range z1 {
@@ -380,8 +573,8 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				}
 				devs := make([]int, k)
 				if devSpeed == nil {
-					share := seq.SplitEvenInto(p.share, s.Len, k)
-					p.share = share
+					share := seq.SplitEvenInto(scr.share, s.Len, k)
+					scr.share = share
 					for i := 0; i < k; i++ {
 						d := (rr + i) % P
 						devs[i] = ranks[d]
@@ -396,19 +589,19 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 				// least-time-loaded devices and weight their query-chunk
 				// shares by speed — stragglers hold smaller chunks and the
 				// rounds stay time-balanced.
-				chosen := p.leastLoaded(devLoad, k, devSpeed)
+				chosen := scr.leastLoaded(devLoad, k, devSpeed)
 				for i, d := range chosen {
 					devs[i] = ranks[d]
 				}
 				ring := seq.Ring{Seq: s, Zone: seq.ZoneIntra, Ranks: devs, Weights: p.ringWeights(devs)}
-				p.share = ring.TokensPerRankInto(p.share)
+				scr.share = ring.TokensPerRankInto(scr.share)
 				for i, d := range chosen {
-					devLoad[d] += p.share[i]
+					devLoad[d] += scr.share[i]
 				}
 				rings = append(rings, ring)
 			}
 		}
-		p.rings = rings
+		out.rings = rings
 		retry := false
 		for _, s := range z0 {
 			idx := argminLoad(devLoad, devSpeed)
@@ -421,17 +614,16 @@ func (p *Partitioner) intraPartition(plan *seq.Plan, node int, assigned []seq.Se
 			devLoad[idx] += s.Len
 		}
 		if !retry {
-			for d := 0; d < P; d++ {
-				plan.Local[ranks[d]] = append(plan.Local[ranks[d]], local[d]...)
-			}
-			plan.Rings = append(plan.Rings, rings...)
-			return s0, nil
+			out.local = local
+			out.s0 = s0
+			return nil
 		}
 	}
 }
 
 // ringWeights returns speed-proportional ring weights for a rank set
-// (nil on a healthy cluster, preserving the even 2G-chunk split).
+// (nil on a healthy cluster, preserving the even 2G-chunk split). Reads
+// only the immutable config, so it is safe from parallel workers.
 func (p *Partitioner) ringWeights(ranks []int) []float64 {
 	if p.cfg.Speeds == nil {
 		return nil
@@ -446,11 +638,12 @@ func (p *Partitioner) ringWeights(ranks []int) []float64 {
 // leastLoaded returns the indices of the k smallest loads, ties broken by
 // index, in increasing-load order. A non-nil speed vector compares
 // effective time loads (load/speed) instead of raw token loads. The
-// result is partitioner scratch, valid until the next call.
-func (p *Partitioner) leastLoaded(load []int, k int, speed []float64) []int {
+// result is selection scratch, valid until the next call on the same
+// pickScratch.
+func (ps *pickScratch) leastLoaded(load []int, k int, speed []float64) []int {
 	n := len(load)
-	p.pick = growI(p.pick, n)
-	idx := p.pick
+	ps.pick = growI(ps.pick, n)
+	idx := ps.pick
 	if k == 1 {
 		// Early exit: the common single-fragment case needs only argmin,
 		// not a k-selection pass.
@@ -478,8 +671,8 @@ func (p *Partitioner) leastLoaded(load []int, k int, speed []float64) []int {
 	// tie-break matters here: selection swaps perturb idx order, so
 	// strict-smaller alone would resolve equal effective loads by
 	// position, not by rank index.
-	p.eff = growF(p.eff, n)
-	eff := p.eff
+	ps.eff = growF(ps.eff, n)
+	eff := ps.eff
 	for i := 0; i < n; i++ {
 		eff[i] = float64(load[i]) / speed[i]
 	}
@@ -531,4 +724,12 @@ func growF(s []float64, n int) []float64 {
 		return s[:n]
 	}
 	return make([]float64, n)
+}
+
+// growB is growI for bool scratch.
+func growB(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }

@@ -272,18 +272,18 @@ func TestPropertyPlansValidateAcrossWorkloads(t *testing.T) {
 }
 
 func TestLeastLoaded(t *testing.T) {
-	var p Partitioner
-	got := p.leastLoaded([]int{5, 1, 3, 1}, 2, nil)
+	var ps pickScratch
+	got := ps.leastLoaded([]int{5, 1, 3, 1}, 2, nil)
 	if got[0] != 1 || got[1] != 3 {
 		t.Fatalf("leastLoaded = %v, want [1 3]", got)
 	}
 	// Effective time loads: rank 0 is fast, rank 1 slow — 5/5 < 1/0.1.
-	got = p.leastLoaded([]int{5, 1, 3, 1}, 2, []float64{5, 0.1, 1, 1})
+	got = ps.leastLoaded([]int{5, 1, 3, 1}, 2, []float64{5, 0.1, 1, 1})
 	if got[0] != 0 || got[1] != 3 {
 		t.Fatalf("speed-weighted leastLoaded = %v, want [0 3]", got)
 	}
 	// k == 1 takes the argmin early exit.
-	if one := p.leastLoaded([]int{4, 2, 9}, 1, nil); len(one) != 1 || one[0] != 1 {
+	if one := ps.leastLoaded([]int{4, 2, 9}, 1, nil); len(one) != 1 || one[0] != 1 {
 		t.Fatalf("leastLoaded k=1 = %v, want [1]", one)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"zeppelin/internal/cluster"
@@ -184,5 +185,116 @@ func TestSharedCacheConcurrentPlanners(t *testing.T) {
 	st := shared.Stats()
 	if st.Hits == 0 || st.Entries == 0 {
 		t.Fatalf("shared tier unused under concurrency: %+v", st)
+	}
+}
+
+// TestSharedCacheStatsConsistentUnderConcurrentPublish hammers Get/Put
+// directly from many goroutines — including concurrent duplicate
+// publishes of the same key — and checks the counter arithmetic the
+// /v1/stats and /metrics surfaces report from these numbers: every Get
+// is exactly one hit or one miss, duplicate publishes deduplicate
+// instead of storing twice, the entry count never exceeds the cap, and
+// the eviction counter stays consistent with the inserts that actually
+// happened (it can never wrap "negative"). Run under -race this also
+// covers the locking of the stats snapshot against publishers.
+func TestSharedCacheStatsConsistentUnderConcurrentPublish(t *testing.T) {
+	cfg := incCell(t)
+	rng := rand.New(rand.NewSource(23))
+	const keys = 6
+	batches := make([][]seq.Sequence, keys)
+	results := make([]*Result, keys)
+	for i := range batches {
+		batches[i] = sampleBatch(cfg, rng, 0.4+0.09*float64(i))
+		part, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i], err = part.Plan(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hammer := func(capEntries int) (SharedCacheStats, uint64, uint64) {
+		shared := NewSharedCache(capEntries)
+		var gets, puts atomic.Uint64
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		// A concurrent Stats reader: every snapshot it takes mid-hammer
+		// must already satisfy the bounds (and -race checks the lock).
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := shared.Stats()
+				if st.Entries > st.Capacity {
+					t.Errorf("snapshot entries %d exceed capacity %d", st.Entries, st.Capacity)
+					return
+				}
+				if st.Evictions > puts.Load() {
+					t.Errorf("snapshot evictions %d exceed %d puts so far", st.Evictions, puts.Load())
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := (g + i) % keys
+					gets.Add(1)
+					if _, ok := shared.Get(cfg, batches[k]); !ok {
+						// Several goroutines miss the same key at once and
+						// all publish — the duplicate-publish race under test.
+						puts.Add(1)
+						shared.Put(cfg, batches[k], results[k])
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(stop)
+		readers.Wait()
+		return shared.Stats(), gets.Load(), puts.Load()
+	}
+
+	// Roomy cache: every key fits, so dedup alone bounds the entries and
+	// nothing is ever evicted.
+	st, gets, puts := hammer(keys + 2)
+	if st.Hits+st.Misses != gets {
+		t.Fatalf("hits %d + misses %d != %d Get calls", st.Hits, st.Misses, gets)
+	}
+	if st.Entries != keys {
+		t.Fatalf("entries = %d, want %d (concurrent duplicate publishes must dedup)", st.Entries, keys)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d on a cache that never filled", st.Evictions)
+	}
+	if puts < keys {
+		t.Fatalf("puts = %d, want >= %d (every key misses at least once)", puts, keys)
+	}
+
+	// Undersized cache: constant churn. Every eviction and every resident
+	// entry came from an insert and inserts are bounded by puts, so
+	// evictions + entries <= puts — the identity that fails loudly if the
+	// eviction counter ever wrapped.
+	st, gets, puts = hammer(2)
+	if st.Hits+st.Misses != gets {
+		t.Fatalf("churn: hits %d + misses %d != %d Get calls", st.Hits, st.Misses, gets)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("churn: entries = %d, want <= cap 2", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("churn: rotating 6 keys through a 2-entry cache must evict")
+	}
+	if st.Evictions+uint64(st.Entries) > puts {
+		t.Fatalf("churn: evictions %d + entries %d exceed %d puts", st.Evictions, st.Entries, puts)
 	}
 }

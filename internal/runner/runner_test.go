@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"zeppelin/internal/baselines"
@@ -14,7 +15,6 @@ import (
 	"zeppelin/internal/model"
 	"zeppelin/internal/trainer"
 	"zeppelin/internal/workload"
-	"zeppelin/internal/zeppelin"
 )
 
 // quickCfg is a one-node cell small enough that a full grid of it stays
@@ -120,8 +120,11 @@ func TestErrorPropagation(t *testing.T) {
 
 func TestCacheHits(t *testing.T) {
 	eng := New(Options{Workers: 4})
-	same := func(key string) Job { return quickJob(key, 42, zeppelin.Full()) }
-	rs, err := eng.Run(context.Background(), []Job{same("a"), same("b"), quickJob("c", 43, zeppelin.Full())})
+	// A baseline method, not zeppelin.Full(): internal/zeppelin now
+	// depends on this package (the parallel solve), so in-package tests
+	// cannot import it; determinism_ext_test.go covers the full method.
+	same := func(key string) Job { return quickJob(key, 42, baselines.HybridDP{}) }
+	rs, err := eng.Run(context.Background(), []Job{same("a"), same("b"), quickJob("c", 43, baselines.HybridDP{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,40 +192,6 @@ func TestNoMemoOption(t *testing.T) {
 	}
 }
 
-// TestSerialParallelDeterminism is the acceptance criterion of the
-// engine: a (dataset × method × seed) grid must produce bit-identical
-// trainer.Results on one worker and on a saturated pool.
-func TestSerialParallelDeterminism(t *testing.T) {
-	var jobs []Job
-	for _, d := range []workload.Dataset{workload.ArXiv, workload.GitHub} {
-		for mi, m := range []trainer.Method{baselines.TECP{}, baselines.HybridDP{}, zeppelin.Full()} {
-			for s := 0; s < 3; s++ {
-				jobs = append(jobs, Job{
-					Key:         fmt.Sprintf("%s/m%d/s%d", d.Name, mi, s),
-					Config:      quickCfg(int64(1000 + 37*s)),
-					Method:      m,
-					Sample:      d.Batch,
-					SamplerName: d.Name,
-				})
-			}
-		}
-	}
-	serial, err := New(Options{Workers: 1}).Run(context.Background(), jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	parallel, err := New(Options{Workers: 2 * runtime.GOMAXPROCS(0)}).Run(context.Background(), jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, k := range serial.Keys() {
-		if !reflect.DeepEqual(serial.Get(k), parallel.Get(k)) {
-			t.Fatalf("%s: serial and parallel results differ:\n%+v\nvs\n%+v",
-				k, serial.Get(k), parallel.Get(k))
-		}
-	}
-}
-
 func TestWriteJSONArtifact(t *testing.T) {
 	rs, err := New(Options{Workers: 2}).Run(context.Background(), []Job{
 		quickJob("a", 1, baselines.TECP{}),
@@ -266,5 +235,39 @@ func TestForEach(t *testing.T) {
 	})
 	if !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "slot 3") {
 		t.Fatalf("ForEach must surface the lowest-index error, got %v", err)
+	}
+}
+
+func TestForEachWorker(t *testing.T) {
+	// Worker ids must stay in [0, workers) and each worker must run at
+	// most one fn at a time — per-worker scratch relies on both.
+	const workers, n = 5, 64
+	busy := make([]atomic.Int32, workers)
+	worker := make([]int, n)
+	if err := ForEachWorker(context.Background(), workers, n, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		if busy[w].Add(1) != 1 {
+			return fmt.Errorf("worker %d ran two indices concurrently", w)
+		}
+		worker[i] = w
+		busy[w].Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every index ran exactly once (worker slot recorded).
+	for i, w := range worker {
+		if w < 0 || w >= workers {
+			t.Fatalf("index %d ran on worker %d", i, w)
+		}
+	}
+	// Zero items is a no-op, not a hang.
+	if err := ForEachWorker(context.Background(), 4, 0, func(w, i int) error {
+		t.Fatalf("fn called for empty range (w=%d i=%d)", w, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

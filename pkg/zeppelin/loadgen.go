@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -160,13 +161,24 @@ func (c *loadCollector) plan(status int, body []byte, latency time.Duration, err
 	}
 }
 
-// percentile is nearest-rank over a sorted slice.
+// percentile is nearest-rank over a sorted slice: the smallest element
+// with at least q of the sample at or below it, rank ⌈q·N⌉ clamped to
+// [1, N]. Truncating q·(N-1) instead (the previous behavior) biased
+// every tail statistic low — with 100 samples it reported p99.9 as the
+// 99th element, never the max a 100-sample p99.9 must clamp to.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
 }
 
 // RunLoad drives the configured load against the replicas and returns

@@ -196,6 +196,54 @@ func TestRunLoadBenchfmt(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the latency-percentile statistic to
+// the nearest-rank definition: rank ⌈q·N⌉ clamped to [1, N]. The
+// regression it guards: int(q·(N-1)) truncation reported tail
+// percentiles one element low — q=0.999 over fewer than 1000 samples
+// must clamp to the max, a single sample must be every percentile, and
+// an empty sample must return 0, not panic.
+func TestPercentileNearestRank(t *testing.T) {
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty returns zero", nil, 0.5, 0},
+		{"single sample p50", []float64{7}, 0.50, 7},
+		{"single sample p999", []float64{7}, 0.999, 7},
+		{"single sample q=0", []float64{7}, 0, 7},
+		{"p50 of ten", ten, 0.50, 5},
+		{"p95 of ten", ten, 0.95, 10},
+		{"p99 of ten clamps to max", ten, 0.99, 10},
+		{"p999 of ten clamps to max", ten, 0.999, 10},
+		{"p10 of ten", ten, 0.10, 1},
+		{"q=0 clamps to min", ten, 0, 1},
+		{"q=1 is the max", ten, 1, 10},
+		{"p25 of four", []float64{1, 2, 3, 4}, 0.25, 1},
+		{"p75 of four", []float64{1, 2, 3, 4}, 0.75, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := percentile(c.sorted, c.q); got != c.want {
+				t.Fatalf("percentile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+			}
+		})
+	}
+	// The clamp that motivated the fix: under 1000 samples, p99.9 is the
+	// maximum for every N — the old truncation picked an interior element.
+	for _, n := range []int{2, 10, 100, 999} {
+		sorted := make([]float64, n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1)
+		}
+		if got := percentile(sorted, 0.999); got != float64(n) {
+			t.Fatalf("p999 of %d samples = %v, want the max %d", n, got, n)
+		}
+	}
+}
+
 // TestRunLoadValidation: nonsense configs fail fast with a message that
 // names the bad knob.
 func TestRunLoadValidation(t *testing.T) {
