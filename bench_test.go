@@ -26,6 +26,7 @@ import (
 	"zeppelin/internal/runner"
 	"zeppelin/internal/seq"
 	"zeppelin/internal/trainer"
+	"zeppelin/internal/tune"
 	"zeppelin/internal/workload"
 	zep "zeppelin/internal/zeppelin"
 )
@@ -536,6 +537,34 @@ func BenchmarkRemapSolve(b *testing.B) {
 			if _, err := remap.Solve(tokens, c, 1e-9, 8e-9); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkTuneSearch is the closed-loop policy search end to end: grid
+// seeding plus the mutation loop over short drifting campaigns — the
+// same shape the CI tune job smokes, sized so one op is a whole search
+// (baseline + budget candidate evaluations) rather than one campaign.
+func BenchmarkTuneSearch(b *testing.B) {
+	sp, err := tune.ParseSpace("policy=threshold,threshold=1.1:1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := tune.Options{
+		Base:    experiments.TuneScenario(12),
+		Space:   sp,
+		Budget:  4,
+		Iters:   12,
+		Workers: 4,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := tune.Search(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Evaluated == 0 {
+			b.Fatal("search evaluated nothing")
 		}
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	zeppelin [-seeds N] [-workers N] [-json] <experiment>
 //	zeppelin [-seeds N] [-workers N] campaign [-iters N] [-arrival P] [-drift D] [-policy P] [-json] [...]
+//	zeppelin [-seeds N] [-workers N] tune [-space S] [-budget N] [-weights W] [-json] [...]
 //	zeppelin bench [-ranks R1,R2] [-iters N] [-solve-workers N] [-json]
 //	zeppelin replay [-iters N] [-seed N] [-flip iter=N:decision=replan|reuse] [-json] [...]
 //	zeppelin -version
@@ -28,6 +29,15 @@
 // elastic shrink/grow) runs the whole stream under a deterministic
 // fault schedule, with fault/recovery markers in the per-iteration
 // records and the rendered timeline.
+//
+// The tune subcommand closes the loop: it sweeps a declared parameter
+// space — replan policy and threshold, replan cost, admission capacity,
+// autoscaler gains — over full campaign runs of one scenario (default:
+// the fig13 drifting mixture) and reports the configuration that
+// maximizes a weighted fitness of goodput, p99 iteration time,
+// migration cost, and utilization, as a ready-to-paste campaign flag
+// set. The search is deterministic: grid seeding plus a seeded
+// mutation/selection loop, bit-identical at every -workers count.
 //
 // The bench subcommand measures the planner fast path in-process (the
 // fig15 machinery: full solve vs incremental re-planning over a churning
@@ -107,6 +117,12 @@ func main() {
 		}
 		return
 	}
+	if args[0] == "tune" {
+		if err := tuneCmd(os.Stdout, args[1:], *seeds, *workers, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if args[0] == "bench" {
 		if err := benchCmd(os.Stdout, args[1:], *jsonOut); err != nil {
 			fail(err)
@@ -151,6 +167,7 @@ func fail(err error) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
        zeppelin [-seeds N] [-workers N] campaign [flags]
+       zeppelin [-seeds N] [-workers N] tune [flags]
        zeppelin bench [-ranks R1,R2] [-iters N] [-solve-workers N] [-json]
        zeppelin replay [flags]
        zeppelin -version
@@ -159,8 +176,17 @@ experiments: %s
 campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -dataset NAME  -drift a,b,c  -policy always|never|threshold|periodic
                 -threshold X  -every N  -replan-cost SECONDS (>= 0)
+                -capacity X (admission capacity factor; 0 selects 1.25)
                 -faults none|straggler|nic|failstop|shrink[:k=v,...]
+                -autoscale on|k=v,... (closed-loop world sizing; keys
+                min|max|up-util|down-util|step|cooldown)
                 -incremental (Zeppelin plans through the incremental planner)  -json
+tune flags:     -space GRAMMAR (key=value dims; a|b sets, lo:hi intervals;
+                keys policy|threshold|every|replan-cost|capacity|autoscale|
+                up-util|down-util|cooldown|step)  -budget N  -iters N
+                -weights GOODPUT,P99,MIGRATION,UTIL  -search-seed N
+                (plus the campaign cell flags: -arrival, -dataset, -drift,
+                -faults)  -json
 bench flags:    -ranks 64,256 (world sizes, multiples of 8)  -iters N
                 -solve-workers N (fan the full solve; plans stay bit-identical)
                 -json (benchfmt artifact, the BENCH_*.json schema)
@@ -375,8 +401,12 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	every := fs.Int("every", 10, "replan cadence for -policy periodic")
 	replanCost := fs.Float64("replan-cost", zeppelin.DefaultReplanCostSec,
 		"seconds charged per replan; must be >= 0 (0 selects the default)")
+	capacity := fs.Float64("capacity", 0,
+		"admission capacity factor (per-rank ceiling = capacity × tokens-per-gpu × TP); 0 selects the default (1.25)")
 	faultsSpec := fs.String("faults", "none",
 		"fault scenario: none|straggler|nic|failstop|shrink, optionally parameterized as name:key=val,...")
+	autoscaleSpec := fs.String("autoscale", "",
+		"closed-loop autoscaler: \"on\" or key=val,... (min|max|up-util|down-util|step|cooldown); empty disables")
 	incremental := fs.Bool("incremental", false,
 		"plan Zeppelin through the incremental planner (exact mode: cached plans are bit-identical, so results match the stateless planner)")
 	subJSON := fs.Bool("json", false, "emit the campaign artifact as JSON")
@@ -395,6 +425,7 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	jsonOut = jsonOut || *subJSON
 
 	req := zeppelin.CampaignRequest{
+		Cluster: zeppelin.ClusterSpec{Capacity: *capacity},
 		Workload: zeppelin.WorkloadSpec{
 			Dataset: *datasetName,
 			Arrival: *arrivalName,
@@ -412,6 +443,13 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 	if *arrivalName == "drift" {
 		req.Workload.DriftPath = strings.Split(*driftPath, ",")
 	}
+	if *autoscaleSpec != "" {
+		as, err := zeppelin.ParseAutoscaleSpec(*autoscaleSpec)
+		if err != nil {
+			return usageError{err}
+		}
+		req.Autoscale = as
+	}
 	// Resolution failures — unknown datasets, arrivals, policies, fault
 	// scenarios, out-of-range parameters — are flag mistakes: usage.
 	if err := req.Validate(); err != nil {
@@ -425,4 +463,100 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		return cmp.WriteJSON(w)
 	}
 	return cmp.WriteText(w)
+}
+
+// ---------------------------------------------------------------------
+// tune subcommand
+// ---------------------------------------------------------------------
+
+// parseTuneWeights resolves "-weights goodput,p99,migration,util" into
+// the wire weights; only the ratios matter.
+func parseTuneWeights(s string) (*zeppelin.TuneWeights, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return nil, usageErrorf("tune: -weights wants 4 comma-separated values (goodput,p99,migration,utilization), got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, usageErrorf("tune: bad -weights value %q", p)
+		}
+		vals[i] = v
+	}
+	return &zeppelin.TuneWeights{
+		Goodput: vals[0], P99: vals[1], Migration: vals[2], Utilization: vals[3],
+	}, nil
+}
+
+// tuneCmd runs the closed-loop policy search through the public API:
+// sweep the declared space over full campaigns of the scenario (default
+// the fig13 drifting mixture, where replan policy actually matters) and
+// report the fittest configuration as a ready-to-paste flag set. The
+// report is bit-identical at every -workers count; -seeds averages each
+// candidate over that many campaign seeds.
+func tuneCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	space := fs.String("space", "", "search-space grammar: key=value dims, `a|b` sets, `lo:hi` intervals (empty selects the default space)")
+	budget := fs.Int("budget", zeppelin.DefaultTuneBudget, "candidate-evaluation budget; must be >= 1")
+	iters := fs.Int("iters", zeppelin.DefaultTuneIters, "per-evaluation campaign horizon; must be >= 1")
+	weightsSpec := fs.String("weights", "", "fitness weights as goodput,p99,migration,utilization (empty selects 0.4,0.2,0.2,0.2)")
+	searchSeed := fs.Int64("search-seed", 0, "mutation-stream seed; 0 selects 1")
+	arrivalName := fs.String("arrival", "drift", "arrival process: steady|poisson|bursty|drift|replay")
+	datasetName := fs.String("dataset", "arxiv", "base dataset for steady/poisson/bursty/replay arrivals")
+	driftPath := fs.String("drift", "arxiv,github,prolong64k", "comma-separated dataset waypoints for -arrival drift")
+	faultsSpec := fs.String("faults", "none",
+		"fault scenario the evaluations run under: none|straggler|nic|failstop|shrink[:k=v,...]")
+	subJSON := fs.Bool("json", false, "emit the tune report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("tune: unexpected arguments %q", fs.Args())
+	}
+	if *budget < 1 {
+		return usageErrorf("tune: -budget must be >= 1, got %d", *budget)
+	}
+	if *iters < 1 {
+		return usageErrorf("tune: -iters must be >= 1, got %d", *iters)
+	}
+	jsonOut = jsonOut || *subJSON
+
+	req := zeppelin.TuneRequest{
+		Workload: zeppelin.WorkloadSpec{
+			Dataset: *datasetName,
+			Arrival: *arrivalName,
+		},
+		Faults:     *faultsSpec,
+		Space:      *space,
+		Budget:     *budget,
+		Iters:      *iters,
+		Seeds:      seeds,
+		SearchSeed: *searchSeed,
+		Workers:    workers,
+	}
+	if *arrivalName == "drift" {
+		req.Workload.DriftPath = strings.Split(*driftPath, ",")
+	}
+	if *weightsSpec != "" {
+		tw, err := parseTuneWeights(*weightsSpec)
+		if err != nil {
+			return err
+		}
+		req.Weights = tw
+	}
+	if err := req.Validate(); err != nil {
+		return usageError{err}
+	}
+	rep, err := zeppelin.RunTune(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	rep.WriteText(w)
+	return nil
 }

@@ -39,6 +39,13 @@
 //	                                     flipped ({"flip":{"iter":N,"decision":"reuse"}})
 //	                                     and report the goodput/p99/replan delta
 //	GET  /v1/experiments/{name}        — any paper experiment's structured result
+//	POST /v1/tune                      — closed-loop policy search (TuneRequest →
+//	                                     TuneReport): sweep a declared space over
+//	                                     full campaigns and return the fittest
+//	                                     configuration with its ready-to-paste
+//	                                     flag set; experiment-class admission,
+//	                                     one simulation slot, deterministic at
+//	                                     every worker count
 //
 // -workers bounds both the number of requests simulating concurrently
 // and each request's internal worker pool; every response is

@@ -19,8 +19,10 @@ import (
 var sessionStates = []string{"created", "running", "done", "cancelled", "failed"}
 
 // decisionKinds is the fixed decision vocabulary for the decisions
-// counter, mirrored from the internal decision package's kinds.
-var decisionKinds = []string{"admission", "replan", "placement"}
+// counter: the internal decision package's kinds (admission, replan,
+// placement, scale) plus the daemon-level "tune" kind — the search's
+// final configuration selection, folded in as /v1/tune requests finish.
+var decisionKinds = []string{"admission", "replan", "placement", "scale", "tune"}
 
 // serverMetrics is the daemon's in-process observability state: the
 // pieces GET /metrics cannot read out of existing structures. Admission
@@ -198,6 +200,71 @@ func (s *server) handleCampaignDecisions(w http.ResponseWriter, r *http.Request)
 // session was created with.
 type replayBody struct {
 	Flip *zeppelin.FlipSpec `json:"flip,omitempty"`
+}
+
+// handleTune serves POST /v1/tune: the closed-loop policy search run
+// in-process. Tune runs are experiment-class traffic — one request
+// simulates Budget × Seeds whole campaigns — so they share the
+// experiment admission bucket and hold one simulation slot for the
+// duration; the request's internal pool is clamped to the server's
+// -workers so a single tune cannot oversubscribe the daemon.
+func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req zeppelin.TuneRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Workers <= 0 || req.Workers > s.opts.Workers {
+		req.Workers = s.opts.Workers
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		return // client gone while queued
+	}
+	defer s.release()
+	rep, err := zeppelin.RunTune(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	s.recordTune(rep)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// recordTune folds the search's final selection into the decision
+// counters and, when -decision-log is set, the structured NDJSON log:
+// one "tune" record whose chosen value is the winning configuration and
+// whose alternatives are every evaluated candidate's fitness total —
+// the same shape replan verdicts trace, so the log replays why a
+// configuration won.
+func (s *server) recordTune(rep *zeppelin.TuneReport) {
+	alts := make([]zeppelin.DecisionAlternative, 0, len(rep.Candidates)+1)
+	alts = append(alts, zeppelin.DecisionAlternative{
+		Choice: rep.Baseline.Key,
+		Score:  rep.Baseline.Fitness.Total,
+		Chosen: !rep.Improved,
+	})
+	for _, c := range rep.Candidates {
+		alts = append(alts, zeppelin.DecisionAlternative{
+			Choice: c.Key,
+			Score:  c.Fitness.Total,
+			Chosen: rep.Improved && c.Key == rep.Winner.Key,
+		})
+	}
+	recs := []zeppelin.DecisionRecord{{
+		Kind:         "tune",
+		Chosen:       rep.Winner.Key,
+		Alternatives: alts,
+	}}
+	s.metrics.countDecisions(recs)
+	if s.decisionLog == nil {
+		return
+	}
+	s.decisionLogMu.Lock()
+	defer s.decisionLogMu.Unlock()
+	zeppelin.WriteDecisionNDJSON(s.decisionLog, "tune", recs) //nolint:errcheck // log writes must not fail the response
 }
 
 // handleReplayCampaign re-runs a session's campaign deterministically,

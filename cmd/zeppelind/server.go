@@ -189,11 +189,12 @@ func newServer(ctx context.Context, cfg serverConfig) *server {
 	mux.HandleFunc("GET /v1/campaigns/{id}/decisions", s.admitted(zeppelin.AdmitCampaign, s.handleCampaignDecisions))
 	mux.HandleFunc("POST /v1/campaigns/{id}/replay", s.admitted(zeppelin.AdmitCampaign, s.handleReplayCampaign))
 	mux.HandleFunc("GET /v1/experiments/{name}", s.admitted(zeppelin.AdmitExperiment, s.handleExperiment))
+	mux.HandleFunc("POST /v1/tune", s.admitted(zeppelin.AdmitExperiment, s.handleTune))
 	// Wrong-method hits on known /v1 routes get a structured 405 (the
 	// method-specific patterns above win for matching methods) …
 	for _, p := range []string{"/v1/version", "/v1/stats", "/v1/plan", "/v1/campaigns",
 		"/v1/campaigns/{id}", "/v1/campaigns/{id}/events", "/v1/campaigns/{id}/decisions",
-		"/v1/campaigns/{id}/replay", "/v1/experiments/{name}"} {
+		"/v1/campaigns/{id}/replay", "/v1/experiments/{name}", "/v1/tune"} {
 		mux.HandleFunc(p, s.handleMethodNotAllowed)
 	}
 	// … and every unknown /v1 route gets a structured 404 instead of

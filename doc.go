@@ -21,20 +21,24 @@
 //     alternatives) and the counterfactual replay engine (RunReplay:
 //     re-run a recorded stream with exactly one replan verdict
 //     flipped — FlipSpec — and report the goodput/p99/wall-time
-//     delta; a no-flip replay must be bit-identical). Context-aware
-//     throughout (cancellation stops campaigns between iterations and
-//     grids between jobs) with the JSON wire schema pinned by golden
-//     tests. cmd/zeppelin is its reference client (campaign, replay,
-//     bench, fig13/fig14/fig15 subcommands); cmd/zeppelind serves it
-//     over HTTP (POST /v1/plan, POST /v1/campaigns + NDJSON event
-//     streams honoring client disconnect and SIGTERM drain, GET
-//     /v1/campaigns/{id}/decisions, POST /v1/campaigns/{id}/replay,
-//     GET /v1/experiments/{name}, GET /v1/stats, GET /v1/version —
-//     all /v1 routes behind admission control with structured 429s —
-//     plus unadmitted GET /healthz and GET /metrics, and an NDJSON
-//     decision log via -decision-log); cmd/zeppelin-loadgen drives
-//     fleet-shaped traffic at one or more replicas and verifies
-//     byte-identical plans on the way.
+//     delta; a no-flip replay must be bit-identical), and the
+//     closed-loop tuning surface (RunTune: multi-objective policy
+//     search over full campaigns with a deterministic winner, plus
+//     AutoscaleSpec/ParseAutoscaleSpec for the campaign autoscaler).
+//     Context-aware throughout (cancellation stops campaigns between
+//     iterations and grids between jobs) with the JSON wire schema
+//     pinned by golden tests. cmd/zeppelin is its reference client
+//     (campaign, replay, tune, bench, fig13/fig14/fig15 subcommands);
+//     cmd/zeppelind serves it over HTTP (POST /v1/plan, POST
+//     /v1/campaigns + NDJSON event streams honoring client disconnect
+//     and SIGTERM drain, GET /v1/campaigns/{id}/decisions, POST
+//     /v1/campaigns/{id}/replay, GET /v1/experiments/{name}, POST
+//     /v1/tune, GET /v1/stats, GET /v1/version — all /v1 routes behind
+//     admission control with structured 429s — plus unadmitted GET
+//     /healthz and GET /metrics, and an NDJSON decision log via
+//     -decision-log); cmd/zeppelin-loadgen drives fleet-shaped traffic
+//     at one or more replicas and verifies byte-identical plans on the
+//     way.
 //
 //   - internal/sim        — deterministic discrete-event simulator
 //
@@ -80,15 +84,25 @@
 //     pool workers
 //
 //   - internal/campaign   — streaming multi-iteration campaigns: arrival
-//     processes, online re-planning policies, per-iteration metrics,
-//     consumed either all at once (Run) or record by record through the
-//     iterator-style Stream that pkg/zeppelin and zeppelind expose
+//     processes, online re-planning policies, the queue-depth/utilization
+//     autoscaler riding the elastic-rescale path (bounded step, cooldown,
+//     capacity-clamped), per-iteration metrics, consumed either all at
+//     once (Run) or record by record through the iterator-style Stream
+//     that pkg/zeppelin and zeppelind expose
 //
 //   - internal/decision   — decision tracing for the campaign engine: one
 //     record per replan/placement/admission choice with the scored
 //     alternatives and controller state, a deterministic NDJSON
 //     encoding, and the single-decision flip override the
 //     counterfactual replay engine drives
+//
+//   - internal/tune       — closed-loop policy tuning: a multi-objective
+//     fitness function (goodput, p99 iteration time, migration cost,
+//     utilization; weights normalized, baseline-relative) evaluated by
+//     running full campaigns, a declared-space grammar (policy,
+//     threshold, replan cost, capacity, autoscaler gains), and a
+//     grid-seeded mutation/selection search fanned through
+//     runner.ForEach with a bit-identical winner at every worker count
 //
 //   - internal/promtext   — hand-rolled Prometheus text exposition
 //     (format 0.0.4, no client-library dependency): a builder for

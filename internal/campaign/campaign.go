@@ -94,7 +94,8 @@ type Config struct {
 	// ReplanCost is the per-replan coordination charge in seconds — the
 	// cost of re-running the solver, broadcasting the new placement, and
 	// draining in-flight micro-batches. Zero selects DefaultReplanCost;
-	// a negative value means replanning is free.
+	// a negative value is a validation error (use a small positive value
+	// to approximate free replanning).
 	ReplanCost float64
 	// ReuseOverhead is the bookkeeping charge of a reuse iteration in
 	// seconds (routing the batch through the frozen skeleton). Zero
@@ -104,6 +105,12 @@ type Config struct {
 	// under; nil means a healthy fixed-size cluster (bit-identical to
 	// pre-fault-layer campaigns).
 	Faults *faults.Schedule
+	// Autoscaler, when non-nil, closes the elasticity loop: the campaign
+	// grows and shrinks its own world from observed queue depth and
+	// utilization instead of replaying a declared schedule, paying the
+	// same Eq. 2 state migration on every transition. Mutually exclusive
+	// with Faults — the two both own the world size.
+	Autoscaler *Autoscaler
 	// MigrateBytesPerToken scales elastic state migrations: bytes of
 	// resident sequence state per token shipped through the Eq. 2 solver
 	// on planned shrink/grow transitions. Zero derives the model's KV
@@ -156,11 +163,11 @@ func (c *Config) Validate() error {
 	if c.Policy == nil {
 		c.Policy = Threshold{}
 	}
-	switch {
-	case c.ReplanCost == 0:
+	if c.ReplanCost < 0 {
+		return fmt.Errorf("campaign: replan cost must be >= 0 seconds, got %g", c.ReplanCost)
+	}
+	if c.ReplanCost == 0 {
 		c.ReplanCost = DefaultReplanCost
-	case c.ReplanCost < 0:
-		c.ReplanCost = 0
 	}
 	switch {
 	case c.ReuseOverhead == 0:
@@ -171,6 +178,14 @@ func (c *Config) Validate() error {
 	if c.Faults != nil {
 		espec := c.Trainer.EffectiveSpec()
 		if err := c.Faults.Validate(c.Trainer.Nodes, espec.GPUsPerNode, espec.NICsPerNode); err != nil {
+			return err
+		}
+	}
+	if c.Autoscaler != nil {
+		if c.Faults != nil {
+			return fmt.Errorf("campaign: autoscaler and fault schedule are mutually exclusive (both own the world size)")
+		}
+		if err := c.Autoscaler.validate(c.Trainer.Nodes); err != nil {
 			return err
 		}
 	}
@@ -231,6 +246,13 @@ type Stream struct {
 	busySum     []float64
 	spanSum     float64
 
+	// Autoscaler state: the world the last iteration ran on, the world
+	// the next one will run on (decided at end of iteration), and the
+	// iterations elapsed since the last transition took effect.
+	curNodes   int
+	nextNodes  int
+	sinceScale int
+
 	report *Report
 	err    error
 	done   bool
@@ -255,7 +277,7 @@ func Start(ctx context.Context, cfg Config) (*Stream, error) {
 	}
 	espec := cfg.Trainer.EffectiveSpec()
 	baseWorld := cfg.Trainer.GPUs() / cfg.Trainer.TP
-	return &Stream{
+	st := &Stream{
 		ctx:        ctx,
 		cfg:        cfg,
 		espec:      espec,
@@ -269,7 +291,15 @@ func Start(ctx context.Context, cfg Config) (*Stream, error) {
 		rng:        rand.New(rand.NewSource(cfg.Trainer.Seed)),
 		busySum:    make([]float64, baseWorld),
 		report:     &Report{Records: make([]IterRecord, 0, cfg.Iters)},
-	}, nil
+	}
+	if as := cfg.Autoscaler; as != nil {
+		// Start at the ceiling and shrink into the load: the first
+		// decision is eligible immediately (no transition to cool from).
+		st.curNodes = as.MaxNodes
+		st.nextNodes = as.MaxNodes
+		st.sinceScale = as.Cooldown
+	}
+	return st, nil
 }
 
 // Next simulates the next iteration and returns its record. It returns
@@ -337,8 +367,23 @@ func (s *Stream) step() (IterRecord, error) {
 	// Resolve the iteration's cluster state under the fault schedule:
 	// active node count, effective-speed view, transition events.
 	view := faults.View{Nodes: cfg.Trainer.Nodes, PrevNodes: cfg.Trainer.Nodes}
-	if cfg.Faults != nil {
+	switch {
+	case cfg.Faults != nil:
 		view = cfg.Faults.At(it, cfg.Trainer.Nodes, s.rpn, s.espec.NICsPerNode)
+	case cfg.Autoscaler != nil:
+		// Apply the transition the autoscaler decided at the end of the
+		// previous iteration; the synthesized view flows through the same
+		// elastic-resize machinery as a scheduled shrink/grow event.
+		view = faults.View{Nodes: s.nextNodes, PrevNodes: s.curNodes}
+		if s.nextNodes != s.curNodes {
+			view.Resized = true
+			dir := "scale-up"
+			if s.nextNodes < s.curNodes {
+				dir = "scale-down"
+			}
+			view.Events = []string{fmt.Sprintf("%s:nodes=%d", dir, s.nextNodes)}
+		}
+		s.curNodes = s.nextNodes
 	}
 	world := view.Nodes * s.rpn
 	var recovery float64
@@ -389,7 +434,7 @@ func (s *Stream) step() (IterRecord, error) {
 				{Choice: "trim", Score: float64(admitted), Chosen: true},
 			},
 		}
-		if cfg.Faults != nil {
+		if cfg.Faults != nil || cfg.Autoscaler != nil {
 			drec.World = world
 			drec.Events = view.Events
 		}
@@ -443,7 +488,7 @@ func (s *Stream) step() (IterRecord, error) {
 			if th, ok := cfg.Policy.(Threshold); ok {
 				drec.Threshold = th.ratio()
 			}
-			if cfg.Faults != nil {
+			if cfg.Faults != nil || cfg.Autoscaler != nil {
 				drec.World = world
 				drec.Events = view.Events
 			}
@@ -497,7 +542,7 @@ func (s *Stream) step() (IterRecord, error) {
 		Events:   view.Events,
 		Flipped:  flipped,
 	}
-	if cfg.Faults != nil {
+	if cfg.Faults != nil || cfg.Autoscaler != nil {
 		rec.World = world
 	}
 	span := res.LayerTime
@@ -548,6 +593,36 @@ func (s *Stream) step() (IterRecord, error) {
 		s.spanSum += span
 	}
 	rec.Utilization = util
+
+	// Close the loop: with an autoscaler configured, the iteration's
+	// observed queue depth and utilization pick the next world. Verdicts
+	// inside the cooldown window are forced back to hold.
+	if as := cfg.Autoscaler; as != nil {
+		next, verdict := as.decide(view.Nodes, util, deferred)
+		forced := false
+		if next != view.Nodes && s.sinceScale < as.Cooldown {
+			next, verdict = view.Nodes, "hold"
+			forced = true
+		}
+		if next != view.Nodes {
+			s.sinceScale = 0
+		} else {
+			s.sinceScale++
+		}
+		s.nextNodes = next
+		if cfg.Decisions != nil {
+			cfg.Decisions.Add(decision.Record{
+				Iter: it, Kind: decision.KindScale, Chosen: verdict, Forced: forced,
+				World:  world,
+				Events: view.Events,
+				Alternatives: []decision.Alternative{
+					{Choice: "grow", Score: float64(deferred), Chosen: verdict == "grow"},
+					{Choice: "hold", Score: util, Chosen: verdict == "hold"},
+					{Choice: "shrink", Score: util, Chosen: verdict == "shrink"},
+				},
+			})
+		}
+	}
 	return rec, nil
 }
 

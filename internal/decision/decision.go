@@ -23,7 +23,7 @@ import (
 // Kind classifies a decision site.
 type Kind string
 
-// The three decision sites the campaign loop records.
+// The decision sites the campaign loop records.
 const (
 	// KindReplan is the replanning controller's verdict: re-run the
 	// partitioner for the incoming batch, or stretch the stale skeleton.
@@ -37,6 +37,11 @@ const (
 	// the iteration's plan: full solve, patched previous plan, local
 	// cache hit, or shared-tier hit.
 	KindPlacement Kind = "placement"
+	// KindScale is the autoscaler's end-of-iteration verdict: grow,
+	// shrink, or hold the active world for the next iteration, driven by
+	// observed queue depth and utilization. Forced marks verdicts the
+	// cooldown window overrode.
+	KindScale Kind = "scale"
 )
 
 // Alternative is one scored option the decision site considered.

@@ -42,6 +42,29 @@ func fig13Arrival() campaign.Arrival {
 	}
 }
 
+// TuneScenario returns the closed-loop tuning scenario: the fig13 drift
+// cell under Zeppelin, compressed to the given horizon (zero selects the
+// full Fig13Iters). The factory is pure — every call builds an
+// independent Config with a fresh method instance — so tune evaluations
+// can fan out concurrently. The seed argument is the seed index, mapped
+// through SeedValue like every other experiment grid.
+func TuneScenario(iters int) func(seed int64) campaign.Config {
+	if iters <= 0 {
+		iters = Fig13Iters
+	}
+	return func(seed int64) campaign.Config {
+		return campaign.Config{
+			Trainer: CampaignCell(SeedValue(int(seed))),
+			Method:  zeppelin.Full(),
+			Iters:   iters,
+			Arrival: campaign.Drift{
+				Path:  []workload.Dataset{workload.ArXiv, workload.GitHub, workload.ProLong64k},
+				Iters: iters,
+			},
+		}
+	}
+}
+
 // fig13Rows enumerates the campaign grid: every method under the
 // threshold controller, then the Zeppelin policy ablation.
 func fig13Rows() []struct {

@@ -20,7 +20,20 @@
 //     streaming of a multi-iteration campaign: NewCampaign resolves the
 //     request, Start binds a context, and each Next call simulates
 //     exactly one iteration and returns its event. Draining a Campaign
-//     is bit-identical to the internal all-at-once runner.
+//     is bit-identical to the internal all-at-once runner. An optional
+//     AutoscaleSpec (parseable from flag syntax via ParseAutoscaleSpec)
+//     attaches the autoscaler: the world grows and shrinks with
+//     observed queue depth and utilization through the elastic-rescale
+//     path, bounded per step, cooled down between moves, and clamped
+//     to [1, cluster capacity].
+//   - RunTune / TuneRequest / TuneReport — closed-loop policy tuning:
+//     a multi-objective fitness function (goodput, p99 iteration time,
+//     migration cost, utilization; TuneWeights normalized, fitness 1.0
+//     pinned to the hand-tuned baseline) evaluated by running full
+//     campaigns, searched over a declared space grammar by grid
+//     seeding plus a mutation/selection loop. The report carries the
+//     per-candidate fitness breakdown and the winner's ready-to-paste
+//     flag set, and is bit-identical at every Workers count.
 //   - RunExperiment / RenderExperiment — every paper table and figure by
 //     name ("fig8", "table3", …), structured or paper-style text.
 //   - CompareCampaigns — the CLI's (method × seed) campaign comparison

@@ -48,7 +48,7 @@ func canonicalFixtures() map[string]any {
 		"campaign_request": CampaignRequest{
 			Model: "7B",
 			Cluster: ClusterSpec{
-				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096,
+				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096, Capacity: 1.25,
 			},
 			Workload: WorkloadSpec{
 				Dataset:   "arxiv",
@@ -62,6 +62,19 @@ func canonicalFixtures() map[string]any {
 			Seed:          1000,
 			ReplanCostSec: 0.02,
 			Incremental:   true,
+		},
+		"campaign_request_autoscale": CampaignRequest{
+			Model: "7B",
+			Workload: WorkloadSpec{
+				Arrival:   "drift",
+				DriftPath: []string{"arxiv", "github", "prolong64k"},
+			},
+			Iters: 200,
+			Autoscale: &AutoscaleSpec{
+				MinNodes: 1, MaxNodes: 4,
+				UpUtil: 0.95, DownUtil: 0.9,
+				Step: 1, Cooldown: 3,
+			},
 		},
 		"campaign_event": CampaignEvent{
 			Iter:         17,
@@ -151,6 +164,65 @@ func canonicalFixtures() map[string]any {
 				Replans:         -1,
 				RecoverySec:     0.25,
 			},
+		},
+		"tune_request": TuneRequest{
+			Model: "7B",
+			Cluster: ClusterSpec{
+				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096,
+			},
+			Workload: WorkloadSpec{
+				Arrival:   "drift",
+				DriftPath: []string{"arxiv", "github", "prolong64k"},
+			},
+			Faults:     "none",
+			Method:     "zeppelin",
+			Space:      "policy=threshold,threshold=1.05:1.6",
+			Budget:     24,
+			Iters:      60,
+			Seeds:      2,
+			Weights:    &TuneWeights{Goodput: 0.4, P99: 0.2, Migration: 0.2, Utilization: 0.2},
+			SearchSeed: 1,
+			Workers:    4,
+		},
+		"tune_report": TuneReport{
+			Space:     "policy=threshold,threshold=1.05:1.6",
+			Budget:    24,
+			Iters:     60,
+			Seeds:     2,
+			Weights:   TuneWeights{Goodput: 0.4, P99: 0.2, Migration: 0.2, Utilization: 0.2},
+			Evaluated: 24,
+			Baseline: TuneCandidate{
+				Key:    "policy=threshold",
+				Params: TuneParams{Policy: "threshold"},
+				Flags:  "-policy threshold",
+				Metrics: TuneMetrics{
+					TokensPerSec: 26098.1, P99IterTime: 3.205, Replans: 26,
+					RecoverySeconds: 0.46, MigrationCost: 0.98,
+					MeanUtilization: 0.935, DeferredTokens: 2048,
+				},
+				Fitness: TuneFitness{Goodput: 1, P99: 1, Migration: 1, Utilization: 1, Total: 1},
+			},
+			Winner: TuneCandidate{
+				Key: "policy=threshold,threshold=1.56",
+				Params: TuneParams{
+					Policy: "threshold", Threshold: 1.56,
+					Autoscale: true, UpUtil: 0.95, DownUtil: 0.9, Cooldown: 3, Step: 1,
+				},
+				Flags: "-policy threshold -threshold 1.56 -autoscale up-util=0.95,down-util=0.9,cooldown=3,step=1",
+				Metrics: TuneMetrics{
+					TokensPerSec: 26060.4, P99IterTime: 3.205, Replans: 17,
+					RecoverySeconds: 0.3, MigrationCost: 0.64,
+					MeanUtilization: 0.932,
+				},
+				Fitness: TuneFitness{Goodput: 0.999, P99: 1, Migration: 1.53, Utilization: 0.997, Total: 1.105},
+			},
+			Improved: true,
+			Candidates: []TuneCandidate{{
+				Key:     "policy=threshold,threshold=1.05,autoscale=on,up-util=0.5",
+				Params:  TuneParams{Policy: "threshold", Threshold: 1.05, Autoscale: true, UpUtil: 0.5},
+				Flags:   "-policy threshold -threshold 1.05 -autoscale up-util=0.5",
+				Invalid: "campaign: autoscaler down-util 0.6 must be in [0, up-util 0.5)",
+			}},
 		},
 		"version_info": VersionInfo{
 			Module:     "zeppelin",

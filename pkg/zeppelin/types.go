@@ -34,6 +34,10 @@ type ClusterSpec struct {
 	TP int `json:"tp,omitempty"`
 	// TokensPerGPU is the per-GPU context budget; 0 selects 4096.
 	TokensPerGPU int `json:"tokens_per_gpu,omitempty"`
+	// Capacity is the admission capacity factor: the per-rank token
+	// ceiling is Capacity × TokensPerGPU × TP. 0 selects the default
+	// (1.25); a negative value is a validation error.
+	Capacity float64 `json:"capacity,omitempty"`
 }
 
 // resolve fills defaults and maps the spec onto the internal topology.
@@ -57,6 +61,9 @@ func (c ClusterSpec) resolve() (cluster.Spec, ClusterSpec, error) {
 	}
 	if out.TokensPerGPU == 0 {
 		out.TokensPerGPU = 4096
+	}
+	if out.Capacity < 0 {
+		return cluster.Spec{}, out, fmt.Errorf("zeppelin: capacity factor must be >= 0, got %g", out.Capacity)
 	}
 	return spec, out, nil
 }
@@ -224,7 +231,7 @@ func (r PlanRequest) resolve() (trainer.Config, workload.Dataset, trainer.Method
 	}
 	cfg := trainer.Config{
 		Model: mc, Spec: spec, Nodes: cs.Nodes, TP: cs.TP,
-		TokensPerGPU: cs.TokensPerGPU, Seed: seed,
+		TokensPerGPU: cs.TokensPerGPU, CapacityFactor: cs.Capacity, Seed: seed,
 	}
 	if err := cfg.Validate(); err != nil {
 		return trainer.Config{}, workload.Dataset{}, nil, err
@@ -302,12 +309,72 @@ type CampaignRequest struct {
 	// Seed seeds the campaign's RNG stream; 0 selects DefaultSeed.
 	Seed int64 `json:"seed,omitempty"`
 	// ReplanCostSec is the per-replan coordination charge in seconds:
-	// 0 selects the default (20 ms), negative means replanning is free.
+	// 0 selects the default (20 ms), a negative value is a validation
+	// error (use a small positive value to approximate free replanning).
 	ReplanCostSec float64 `json:"replan_cost_sec,omitempty"`
 	// Incremental plans Zeppelin through the session-owned incremental
 	// planner (exact mode: results are bit-identical to the stateless
 	// planner, plans are cached and patched instead of re-solved).
 	Incremental bool `json:"incremental,omitempty"`
+	// Autoscale, when non-nil, runs the campaign under the closed-loop
+	// autoscaler: world size follows observed queue depth and
+	// utilization through the elastic-rescale path. Mutually exclusive
+	// with Faults (both own the world size).
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+}
+
+// AutoscaleSpec is the wire form of the campaign autoscaler's gains.
+// The zero value of every field selects the engine default; MaxNodes
+// may never exceed the cluster's node count.
+type AutoscaleSpec struct {
+	// MinNodes and MaxNodes bound the world (defaults: 1 and the
+	// cluster size).
+	MinNodes int `json:"min_nodes,omitempty"`
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// UpUtil grows the world when mean utilization exceeds it (or any
+	// tokens were deferred); DownUtil shrinks it when utilization falls
+	// below with nothing queued. Defaults 0.92 and 0.60.
+	UpUtil   float64 `json:"up_util,omitempty"`
+	DownUtil float64 `json:"down_util,omitempty"`
+	// Step bounds nodes added or removed per transition (default 1);
+	// Cooldown is the iterations to hold after a transition (default 5).
+	Step     int `json:"step,omitempty"`
+	Cooldown int `json:"cooldown,omitempty"`
+}
+
+// ParseAutoscaleSpec resolves the CLI's -autoscale grammar into a wire
+// spec: "" or "on" selects every default, otherwise comma-separated
+// key=value options with keys min, max, up-util, down-util, step, and
+// cooldown — the exact strings `zeppelin tune` emits in a winner's
+// ready-to-paste flag set.
+func ParseAutoscaleSpec(s string) (*AutoscaleSpec, error) {
+	a, err := campaign.ParseAutoscaler(s)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoscaleSpec{
+		MinNodes: a.MinNodes,
+		MaxNodes: a.MaxNodes,
+		UpUtil:   a.UpUtil,
+		DownUtil: a.DownUtil,
+		Step:     a.Step,
+		Cooldown: a.Cooldown,
+	}, nil
+}
+
+// resolve maps the spec onto the internal autoscaler.
+func (a *AutoscaleSpec) resolve() *campaign.Autoscaler {
+	if a == nil {
+		return nil
+	}
+	return &campaign.Autoscaler{
+		MinNodes: a.MinNodes,
+		MaxNodes: a.MaxNodes,
+		UpUtil:   a.UpUtil,
+		DownUtil: a.DownUtil,
+		Step:     a.Step,
+		Cooldown: a.Cooldown,
+	}
 }
 
 // config resolves the request into an internal campaign configuration.
@@ -354,7 +421,7 @@ func (r CampaignRequest) configWith(pc *PlanCache) (campaign.Config, error) {
 	}
 	tcfg := trainer.Config{
 		Model: mc, Spec: spec, Nodes: cs.Nodes, TP: cs.TP,
-		TokensPerGPU: cs.TokensPerGPU, Seed: seed,
+		TokensPerGPU: cs.TokensPerGPU, CapacityFactor: cs.Capacity, Seed: seed,
 	}
 	if err := tcfg.Validate(); err != nil {
 		return campaign.Config{}, err
@@ -383,6 +450,7 @@ func (r CampaignRequest) configWith(pc *PlanCache) (campaign.Config, error) {
 		Policy:     pol,
 		ReplanCost: r.ReplanCostSec,
 		Faults:     sched,
+		Autoscaler: r.Autoscale.resolve(),
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err
@@ -545,8 +613,8 @@ type DecisionRecord struct {
 	Session string `json:"session,omitempty"`
 	// Iter is the campaign iteration the decision belongs to.
 	Iter int `json:"iter"`
-	// Kind classifies the decision site: "replan", "admission", or
-	// "placement". Chosen names the winning alternative.
+	// Kind classifies the decision site: "replan", "admission",
+	// "placement", or "scale". Chosen names the winning alternative.
 	Kind   string `json:"kind"`
 	Chosen string `json:"chosen"`
 	// Forced marks decisions the controller had no say in (first
