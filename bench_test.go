@@ -149,6 +149,16 @@ func BenchmarkFig14Faults(b *testing.B) {
 	}
 }
 
+func BenchmarkServeCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.Fig16AffinityWin(res), "affinity-win-x")
+	}
+}
+
 func BenchmarkTable3CostDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cols, err := experiments.Table3()

@@ -123,6 +123,12 @@ func main() {
 		}
 		return
 	}
+	if args[0] == "serve" {
+		if err := serveCmd(os.Stdout, args[1:], *seeds, *workers, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if args[0] == "bench" {
 		if err := benchCmd(os.Stdout, args[1:], *jsonOut); err != nil {
 			fail(err)
@@ -167,6 +173,7 @@ func fail(err error) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: zeppelin [-seeds N] [-workers N] [-json] <experiment>
        zeppelin [-seeds N] [-workers N] campaign [flags]
+       zeppelin [-seeds N] [-workers N] serve [flags]
        zeppelin [-seeds N] [-workers N] tune [flags]
        zeppelin bench [-ranks R1,R2] [-iters N] [-solve-workers N] [-json]
        zeppelin replay [flags]
@@ -180,7 +187,13 @@ campaign flags: -iters N  -arrival steady|poisson|bursty|drift|replay
                 -faults none|straggler|nic|failstop|shrink[:k=v,...]
                 -autoscale on|k=v,... (closed-loop world sizing; keys
                 min|max|up-util|down-util|step|cooldown)
-                -incremental (Zeppelin plans through the incremental planner)  -json
+                -incremental (Zeppelin plans through the incremental planner)
+                -serve SPEC (serving scenario; replaces the cell flags)  -json
+serve flags:    -serve SPEC (clients=N,arrival=poisson|gamma:cv=X|weibull:shape=X,
+                rate=R@from-to;...,slo=name:p99=DUR:prio=N;...,dataset=NAME,
+                sessions=N,prefix=F,form=fcfs|priority|sjf,horizon=DUR)
+                -iters N  -trace FILE (replay NDJSON requests)
+                -dump-trace FILE (record the timeline and exit)  -seed N  -json
 tune flags:     -space GRAMMAR (key=value dims; a|b sets, lo:hi intervals;
                 keys policy|threshold|every|replan-cost|capacity|autoscale|
                 up-util|down-util|cooldown|step)  -budget N  -iters N
@@ -409,6 +422,8 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		"closed-loop autoscaler: \"on\" or key=val,... (min|max|up-util|down-util|step|cooldown); empty disables")
 	incremental := fs.Bool("incremental", false,
 		"plan Zeppelin through the incremental planner (exact mode: cached plans are bit-identical, so results match the stateless planner)")
+	serveSpec := fs.String("serve", "",
+		"serving scenario (clients=N,arrival=...,rate=...,slo=...); replaces the arrival/policy/faults cell with a request stream")
 	subJSON := fs.Bool("json", false, "emit the campaign artifact as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,6 +438,39 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		return usageErrorf("campaign: -replan-cost must be >= 0, got %v", *replanCost)
 	}
 	jsonOut = jsonOut || *subJSON
+
+	if *serveSpec != "" || hasFlag(fs, "serve") {
+		// Serve mode: the serve spec owns the arrival process and there is
+		// no replanning controller — reject any training-cell flag the
+		// user explicitly set alongside it.
+		for _, conflict := range []string{"arrival", "dataset", "drift", "policy", "threshold", "every", "faults", "autoscale"} {
+			if hasFlag(fs, conflict) {
+				return usageErrorf("campaign: -%s conflicts with -serve (the serve spec owns the request stream)", conflict)
+			}
+		}
+		spec, err := zeppelin.ParseServeSpec(*serveSpec)
+		if err != nil {
+			return usageError{err}
+		}
+		req := zeppelin.CampaignRequest{
+			Cluster:       zeppelin.ClusterSpec{Capacity: *capacity},
+			Iters:         *iters,
+			ReplanCostSec: *replanCost,
+			Incremental:   *incremental,
+			Serve:         spec,
+		}
+		if err := req.Validate(); err != nil {
+			return usageError{err}
+		}
+		cmp, err := zeppelin.CompareCampaigns(context.Background(), req, seeds, workers)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return cmp.WriteJSON(w)
+		}
+		return cmp.WriteText(w)
+	}
 
 	req := zeppelin.CampaignRequest{
 		Cluster: zeppelin.ClusterSpec{Capacity: *capacity},
@@ -456,6 +504,99 @@ func campaignCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) e
 		return usageError{err}
 	}
 	cmp, err := zeppelin.CompareCampaigns(context.Background(), req, seeds, workers)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return cmp.WriteJSON(w)
+	}
+	return cmp.WriteText(w)
+}
+
+// hasFlag reports whether a flag was explicitly set on the command line.
+func hasFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// ---------------------------------------------------------------------
+// serve subcommand
+// ---------------------------------------------------------------------
+
+// serveCmd compares the routing objectives (balance vs KV-affinity) on
+// one serving scenario through the public API, seed-averaged with
+// per-SLO-class tables. -dump-trace records the scenario's deterministic
+// timeline as NDJSON (trace-replay v2) and exits; -trace replays such a
+// file instead of generating the timeline.
+func serveCmd(w io.Writer, args []string, seeds, workers int, jsonOut bool) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	spec := fs.String("serve", "",
+		"serving scenario (clients=N,arrival=...,rate=...,slo=...); empty selects every default")
+	iters := fs.Int("iters", 10000, "tick horizon; the stream ends early when the timeline drains")
+	seed := fs.Int64("seed", 0, "timeline seed for -dump-trace; 0 selects the default")
+	tracePath := fs.String("trace", "", "replay a recorded NDJSON request trace instead of generating the timeline")
+	dumpPath := fs.String("dump-trace", "", "write the scenario's deterministic timeline as NDJSON and exit")
+	capacity := fs.Float64("capacity", 0,
+		"admission capacity factor (per-rank ceiling = capacity × tokens-per-gpu × TP); 0 selects the default (1.25)")
+	subJSON := fs.Bool("json", false, "emit the serving comparison as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("serve: unexpected arguments %q", fs.Args())
+	}
+	if *iters < 1 {
+		return usageErrorf("serve: -iters must be >= 1, got %d", *iters)
+	}
+	jsonOut = jsonOut || *subJSON
+
+	wireSpec, err := zeppelin.ParseServeSpec(*spec)
+	if err != nil {
+		return usageError{err}
+	}
+	if *dumpPath != "" {
+		events, err := zeppelin.GenerateServeTimeline(wireSpec, *seed)
+		if err != nil {
+			return usageError{err}
+		}
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := zeppelin.WriteServeTrace(f, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d requests to %s\n", len(events), *dumpPath)
+		return f.Close()
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return usageError{err}
+		}
+		events, err := zeppelin.ReadServeTrace(f)
+		f.Close()
+		if err != nil {
+			return usageError{err}
+		}
+		wireSpec.Trace = events
+		wireSpec.TraceName = *tracePath
+	}
+	req := zeppelin.CampaignRequest{
+		Cluster: zeppelin.ClusterSpec{Capacity: *capacity},
+		Iters:   *iters,
+		Serve:   wireSpec,
+	}
+	if err := req.Validate(); err != nil {
+		return usageError{err}
+	}
+	cmp, err := zeppelin.CompareServeRoutes(context.Background(), req, seeds, workers)
 	if err != nil {
 		return err
 	}

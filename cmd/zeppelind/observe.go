@@ -20,9 +20,10 @@ var sessionStates = []string{"created", "running", "done", "cancelled", "failed"
 
 // decisionKinds is the fixed decision vocabulary for the decisions
 // counter: the internal decision package's kinds (admission, replan,
-// placement, scale) plus the daemon-level "tune" kind — the search's
-// final configuration selection, folded in as /v1/tune requests finish.
-var decisionKinds = []string{"admission", "replan", "placement", "scale", "tune"}
+// placement, scale, route) plus the daemon-level "tune" kind — the
+// search's final configuration selection, folded in as /v1/tune
+// requests finish.
+var decisionKinds = []string{"admission", "replan", "placement", "route", "scale", "tune"}
 
 // serverMetrics is the daemon's in-process observability state: the
 // pieces GET /metrics cannot read out of existing structures. Admission
@@ -36,6 +37,15 @@ type serverMetrics struct {
 
 	mu        sync.Mutex
 	decisions map[string]uint64
+	serve     map[string]*serveClassCounts
+}
+
+// serveClassCounts accumulates one SLO class's serving totals across
+// drained serve sessions.
+type serveClassCounts struct {
+	requests   uint64
+	violations uint64
+	tokens     uint64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -43,6 +53,7 @@ func newServerMetrics() *serverMetrics {
 		httpLatency: make(map[zeppelin.AdmissionClass]*promtext.Histogram),
 		planSolve:   promtext.NewHistogram(promtext.DefaultLatencyBuckets),
 		decisions:   make(map[string]uint64),
+		serve:       make(map[string]*serveClassCounts),
 	}
 	for _, class := range zeppelin.AdmissionClasses() {
 		m.httpLatency[class] = promtext.NewHistogram(promtext.DefaultLatencyBuckets)
@@ -58,6 +69,33 @@ func (m *serverMetrics) countDecisions(recs []zeppelin.DecisionRecord) {
 	for _, r := range recs {
 		m.decisions[r.Kind]++
 	}
+}
+
+// countServe folds one drained serve session's per-class metrics into
+// the serving counters.
+func (m *serverMetrics) countServe(classes []zeppelin.ClassMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cm := range classes {
+		c := m.serve[cm.Class]
+		if c == nil {
+			c = &serveClassCounts{}
+			m.serve[cm.Class] = c
+		}
+		c.requests += uint64(cm.Requests)
+		c.violations += uint64(cm.Violations)
+		c.tokens += uint64(cm.Tokens)
+	}
+}
+
+func (m *serverMetrics) serveCounts() map[string]serveClassCounts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]serveClassCounts, len(m.serve))
+	for k, v := range m.serve {
+		out[k] = *v
+	}
+	return out
 }
 
 func (m *serverMetrics) decisionCounts() map[string]uint64 {
@@ -154,8 +192,41 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		b.Sample("zeppelind_decisions_total", []promtext.Label{promtext.L("kind", k)}, float64(counts[k]))
 	}
 
+	serveCounts := s.metrics.serveCounts()
+	classNames := make([]string, 0, len(serveCounts))
+	for name := range serveCounts {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	cls := func(name string) []promtext.Label {
+		return []promtext.Label{promtext.L("class", name)}
+	}
+	b.Metric("zeppelind_serve_requests_total", "counter", "Serve-campaign requests completed per SLO class, folded in as sessions drain.")
+	for _, name := range classNames {
+		b.Sample("zeppelind_serve_requests_total", cls(name), float64(serveCounts[name].requests))
+	}
+	b.Metric("zeppelind_serve_violations_total", "counter", "Serve-campaign deadline violations per SLO class.")
+	for _, name := range classNames {
+		b.Sample("zeppelind_serve_violations_total", cls(name), float64(serveCounts[name].violations))
+	}
+	b.Metric("zeppelind_serve_tokens_total", "counter", "Serve-campaign delivered tokens per SLO class.")
+	for _, name := range classNames {
+		b.Sample("zeppelind_serve_tokens_total", cls(name), float64(serveCounts[name].tokens))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	b.WriteTo(w) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// recordServe folds a drained serve session's per-class metrics into
+// the serving counters. Sessions that did not run a serve campaign (or
+// did not drain) fold nothing.
+func (s *server) recordServe(sess *session) {
+	rep := sess.camp.Report()
+	if len(rep.Classes) == 0 {
+		return
+	}
+	s.metrics.countServe(rep.Classes)
 }
 
 // recordDecisions folds a drained session's decision trace into the
@@ -298,7 +369,13 @@ func (s *server) handleReplayCampaign(w http.ResponseWriter, r *http.Request) {
 	rep, err := zeppelin.RunReplay(r.Context(), zeppelin.ReplayRequest{Campaign: sess.req, Flip: body.Flip},
 		zeppelin.WithCampaignPlanCache(s.planCache))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		// Validation failures (bad campaign input resurfacing at replay
+		// time) are the client's to fix: 400, not 500.
+		if zeppelin.IsValidationError(err) {
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)

@@ -538,7 +538,14 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	if err := sess.camp.Start(ctx); err != nil {
 		finish("failed", err.Error())
-		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		// Start-time validation failures — a broken replay trace, a serve
+		// timeline referencing an unknown SLO class — are the client's
+		// input, not a daemon fault: answer 400, not 500.
+		if zeppelin.IsValidationError(err) {
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -571,6 +578,9 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 		finish("cancelled", "client disconnected: "+writeErr.Error())
 	case err == nil:
 		finish("done", "")
+		// Per-class serving metrics only exist for fully drained serve
+		// streams — partial streams would undercount every class.
+		s.recordServe(sess)
 	case ctx.Err() != nil:
 		finish("cancelled", err.Error())
 	default:

@@ -24,11 +24,16 @@
 //     delta; a no-flip replay must be bit-identical), and the
 //     closed-loop tuning surface (RunTune: multi-objective policy
 //     search over full campaigns with a deterministic winner, plus
-//     AutoscaleSpec/ParseAutoscaleSpec for the campaign autoscaler).
+//     AutoscaleSpec/ParseAutoscaleSpec for the campaign autoscaler),
+//     and the serving-scenario surface (ServeSpec/ParseServeSpec: the
+//     -serve flag grammar as a wire object, CompareServeRoutes for the
+//     balance-vs-affinity routing grid, GenerateServeTimeline plus
+//     Write/ReadServeTrace for NDJSON trace-replay v2, and
+//     IsValidationError to tell client mistakes from engine failures).
 //     Context-aware throughout (cancellation stops campaigns between
 //     iterations and grids between jobs) with the JSON wire schema
 //     pinned by golden tests. cmd/zeppelin is its reference client
-//     (campaign, replay, tune, bench, fig13/fig14/fig15 subcommands);
+//     (campaign, serve, replay, tune, bench, fig13…fig16 subcommands);
 //     cmd/zeppelind serves it over HTTP (POST /v1/plan, POST
 //     /v1/campaigns + NDJSON event streams honoring client disconnect
 //     and SIGTERM drain, GET /v1/campaigns/{id}/decisions, POST
@@ -48,7 +53,13 @@
 //
 //   - internal/costmodel  — kernel and transfer time models, zone analysis
 //
-//   - internal/workload   — Table 2 / Fig. 1 length distributions
+//   - internal/workload   — Table 2 / Fig. 1 length distributions; its
+//     serve subpackage generates inference-style request streams:
+//     multi-client Poisson/Gamma/Weibull arrivals under per-window rate
+//     schedules, SLO classes with deadlines, session/prefix structure
+//     for KV-affinity routing, and an NDJSON trace round-trip
+//     (trace-replay v2) that makes recorded timelines a first-class
+//     generator
 //
 //   - internal/seq        — sequences, rings, placement plans
 //
@@ -88,7 +99,11 @@
 //     autoscaler riding the elastic-rescale path (bounded step, cooldown,
 //     capacity-clamped), per-iteration metrics, consumed either all at
 //     once (Run) or record by record through the iterator-style Stream
-//     that pkg/zeppelin and zeppelind expose
+//     that pkg/zeppelin and zeppelind expose; serve campaigns swap the
+//     training arrival for a pre-generated request timeline with
+//     priority/SJF batch formation, KV-affinity routing (decision-traced
+//     route choices), per-class deadline accounting, and per-class
+//     goodput/violation metrics in the report
 //
 //   - internal/decision   — decision tracing for the campaign engine: one
 //     record per replan/placement/admission choice with the scored
@@ -115,9 +130,11 @@
 //     migration
 //
 //   - internal/experiments— regenerators for every paper table and figure,
-//     plus the fig13 streaming-campaign and fig14 fault comparisons and
+//     plus the fig13 streaming-campaign and fig14 fault comparisons,
 //     the fig15 planner fast-path scaling sweep (64 → 1024 ranks, plan
-//     latency and allocations, full vs incremental)
+//     latency and allocations, full vs incremental), and the fig16
+//     serving-scenario routing comparison (bursty multi-client stream,
+//     balance vs KV-affinity, per-class SLO tables)
 //
 //   - internal/trace      — Fig. 12-style timeline and campaign rendering
 //

@@ -38,6 +38,9 @@ type Steady struct{ D workload.Dataset }
 // Name identifies the process and its dataset.
 func (s Steady) Name() string { return "steady(" + s.D.Name + ")" }
 
+// Validate rejects malformed length distributions before sampling.
+func (s Steady) Validate() error { return s.D.Validate() }
+
 // Batch samples a full-budget batch.
 func (s Steady) Batch(_, baseTokens int, rng *rand.Rand) []seq.Sequence {
 	return s.D.Batch(baseTokens, rng)
@@ -54,6 +57,14 @@ type Poisson struct {
 
 // Name identifies the process, its dataset, and its rate.
 func (p Poisson) Name() string { return fmt.Sprintf("poisson(%s,λ=%g)", p.D.Name, p.Mean) }
+
+// Validate rejects malformed length distributions before sampling.
+func (p Poisson) Validate() error {
+	if math.IsNaN(p.Mean) || math.IsInf(p.Mean, 0) {
+		return fmt.Errorf("campaign: poisson mean must be finite, got %v", p.Mean)
+	}
+	return p.D.Validate()
+}
 
 // Batch draws the unit count and samples a batch for the scaled budget.
 func (p Poisson) Batch(_, baseTokens int, rng *rand.Rand) []seq.Sequence {
@@ -95,6 +106,9 @@ type Bursty struct {
 func (b Bursty) Name() string {
 	return fmt.Sprintf("bursty(%s,T=%d,x%g)", b.D.Name, b.period(), b.factor())
 }
+
+// Validate rejects malformed length distributions before sampling.
+func (b Bursty) Validate() error { return b.D.Validate() }
 
 func (b Bursty) period() int {
 	if b.Period < 2 {
@@ -142,6 +156,16 @@ func (d Drift) Name() string {
 	return "drift(" + strings.Join(names, "->") + ")"
 }
 
+// Validate rejects malformed waypoint distributions before sampling.
+func (d Drift) Validate() error {
+	for _, ds := range d.Path {
+		if err := ds.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // At returns the mixed distribution active at an iteration.
 func (d Drift) At(iter int) workload.Dataset {
 	if len(d.Path) == 0 {
@@ -187,6 +211,26 @@ type Replay struct {
 
 // Name identifies the trace.
 func (r Replay) Name() string { return fmt.Sprintf("replay(%s,%d)", r.Trace, len(r.Batches)) }
+
+// Validate rejects traces that would fail mid-stream: a replay must have
+// at least one batch, every batch at least one sequence, and every
+// sequence a positive length.
+func (r Replay) Validate() error {
+	if len(r.Batches) == 0 {
+		return fmt.Errorf("campaign: replay trace %q has no batches", r.Trace)
+	}
+	for i, b := range r.Batches {
+		if len(b) == 0 {
+			return fmt.Errorf("campaign: replay trace %q batch %d is empty", r.Trace, i)
+		}
+		for j, s := range b {
+			if s.Len < 1 {
+				return fmt.Errorf("campaign: replay trace %q batch %d sequence %d has length %d, want >= 1", r.Trace, i, j, s.Len)
+			}
+		}
+	}
+	return nil
+}
 
 // Batch serves the recorded batch for the iteration (copied, so callers
 // may not mutate the trace).

@@ -130,6 +130,14 @@ type Config struct {
 	// ignored there; a flip that matches the factual verdict changes
 	// nothing, keeping the stream bit-identical.
 	Flip *Flip
+	// Serve, when non-nil, switches the campaign to an inference-style
+	// request stream: SLO-classed requests arrive on a multi-client
+	// timeline, each iteration forms and routes one batch, and the report
+	// gains per-class latency/goodput/violation metrics. Iters caps the
+	// number of serving ticks; the stream ends early once the timeline
+	// drains. Mutually exclusive with Arrival, Faults, Autoscaler, and
+	// Flip.
+	Serve *ServeConfig
 }
 
 // Flip names one replan decision to invert during a counterfactual
@@ -146,25 +154,38 @@ const (
 	DefaultReuseOverhead = 0.2e-3
 )
 
-// Validate fills defaults and checks the configuration.
+// Validate fills defaults and checks the configuration. Errors are
+// validation-classified (IsValidation) so the HTTP layer can answer bad
+// inputs with a structured 400.
 func (c *Config) Validate() error {
 	if c.Method == nil {
-		return fmt.Errorf("campaign: no method")
+		return validationf("campaign: no method")
 	}
 	if c.Iters <= 0 {
-		return fmt.Errorf("campaign: iters must be >= 1, got %d", c.Iters)
+		return validationf("campaign: iters must be >= 1, got %d", c.Iters)
 	}
 	if err := c.Trainer.Validate(); err != nil {
-		return err
+		return asValidation(err)
 	}
-	if c.Arrival == nil {
-		c.Arrival = Steady{D: workload.ArXiv}
-	}
-	if c.Policy == nil {
-		c.Policy = Threshold{}
+	if c.Serve != nil {
+		if err := c.validateServe(); err != nil {
+			return err
+		}
+	} else {
+		if c.Arrival == nil {
+			c.Arrival = Steady{D: workload.ArXiv}
+		}
+		if v, ok := c.Arrival.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return asValidation(err)
+			}
+		}
+		if c.Policy == nil {
+			c.Policy = Threshold{}
+		}
 	}
 	if c.ReplanCost < 0 {
-		return fmt.Errorf("campaign: replan cost must be >= 0 seconds, got %g", c.ReplanCost)
+		return validationf("campaign: replan cost must be >= 0 seconds, got %g", c.ReplanCost)
 	}
 	if c.ReplanCost == 0 {
 		c.ReplanCost = DefaultReplanCost
@@ -178,15 +199,15 @@ func (c *Config) Validate() error {
 	if c.Faults != nil {
 		espec := c.Trainer.EffectiveSpec()
 		if err := c.Faults.Validate(c.Trainer.Nodes, espec.GPUsPerNode, espec.NICsPerNode); err != nil {
-			return err
+			return asValidation(err)
 		}
 	}
 	if c.Autoscaler != nil {
 		if c.Faults != nil {
-			return fmt.Errorf("campaign: autoscaler and fault schedule are mutually exclusive (both own the world size)")
+			return validationf("campaign: autoscaler and fault schedule are mutually exclusive (both own the world size)")
 		}
 		if err := c.Autoscaler.validate(c.Trainer.Nodes); err != nil {
-			return err
+			return asValidation(err)
 		}
 	}
 	switch {
@@ -253,6 +274,10 @@ type Stream struct {
 	nextNodes  int
 	sinceScale int
 
+	// serve is the request-stream state of serving campaigns (nil for
+	// training campaigns).
+	serve *serveState
+
 	report *Report
 	err    error
 	done   bool
@@ -299,6 +324,11 @@ func Start(ctx context.Context, cfg Config) (*Stream, error) {
 		st.nextNodes = as.MaxNodes
 		st.sinceScale = as.Cooldown
 	}
+	if cfg.Serve != nil {
+		if err := st.startServe(); err != nil {
+			return nil, err
+		}
+	}
 	return st, nil
 }
 
@@ -309,7 +339,7 @@ func (s *Stream) Next() (IterRecord, bool) {
 	if s.done {
 		return IterRecord{}, false
 	}
-	if s.it >= s.cfg.Iters {
+	if s.it >= s.cfg.Iters || (s.serve != nil && s.serve.drained()) {
 		s.finish()
 		return IterRecord{}, false
 	}
@@ -318,7 +348,13 @@ func (s *Stream) Next() (IterRecord, bool) {
 		s.finish()
 		return IterRecord{}, false
 	}
-	rec, err := s.step()
+	var rec IterRecord
+	var err error
+	if s.serve != nil {
+		rec, err = s.stepServe()
+	} else {
+		rec, err = s.step()
+	}
 	if err != nil {
 		s.err = err
 		s.finish()
@@ -356,6 +392,10 @@ func (s *Stream) finish() {
 			}
 			s.report.PerRankUtil[r] = f
 		}
+	}
+	if s.serve != nil {
+		s.finishServe()
+		return
 	}
 	s.report.summarize(s.cfg.Method.Name(), s.cfg.Arrival.Name(), policyLabel(&s.cfg))
 }
@@ -417,7 +457,9 @@ func (s *Stream) step() (IterRecord, error) {
 
 	batch := cfg.Arrival.Batch(it, s.baseTokens, s.rng)
 	if len(batch) == 0 {
-		return IterRecord{}, fmt.Errorf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
+		// A bad trace or degenerate process is an input problem, not a
+		// simulation failure: classify it so the HTTP layer answers 400.
+		return IterRecord{}, validationf("campaign: arrival %s produced an empty batch at iteration %d", cfg.Arrival.Name(), it)
 	}
 	// Admission control: no iteration can place more tokens than the
 	// partitioners' total capacity, so overload arrivals (bursts,

@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationError marks an error caused by bad campaign input — a
+// malformed config, an invalid dataset distribution, a broken trace —
+// as opposed to an internal simulation failure. The HTTP layer maps
+// validation errors to 400 and everything else to 500, so clients see a
+// structured rejection for inputs they can fix instead of an opaque
+// server error.
+type ValidationError struct{ Err error }
+
+// Error returns the wrapped message.
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error for errors.Is/As chains.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// NewValidationError classifies an existing error as a validation
+// error (idempotent; preserves nil) — the exported form layers above
+// the campaign engine use to mark their own input rejections.
+func NewValidationError(err error) error { return asValidation(err) }
+
+// validationf builds a classified validation error.
+func validationf(format string, args ...any) error {
+	return &ValidationError{Err: fmt.Errorf(format, args...)}
+}
+
+// asValidation classifies an existing error as a validation error,
+// preserving nil.
+func asValidation(err error) error {
+	if err == nil {
+		return nil
+	}
+	var v *ValidationError
+	if errors.As(err, &v) {
+		return err
+	}
+	return &ValidationError{Err: err}
+}
+
+// IsValidation reports whether err is (or wraps) a validation error.
+func IsValidation(err error) bool {
+	var v *ValidationError
+	return errors.As(err, &v)
+}

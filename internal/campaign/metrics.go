@@ -47,6 +47,16 @@ type IterRecord struct {
 	// World is the active data-parallel world size (only set for
 	// campaigns running under a fault schedule, where it can change).
 	World int `json:"world,omitempty"`
+	// Serving-campaign fields (appended; zero for training campaigns).
+	// Queued is the token backlog left waiting after this tick's batch
+	// was formed; AffinityHits counts requests routed to their session's
+	// home rank, SavedTokens the prefix tokens those hits skipped;
+	// Violations counts requests this tick completed past their class
+	// deadline.
+	Queued       int `json:"queued,omitempty"`
+	AffinityHits int `json:"affinity_hits,omitempty"`
+	SavedTokens  int `json:"saved_tokens,omitempty"`
+	Violations   int `json:"violations,omitempty"`
 }
 
 // Summary aggregates one campaign's iteration stream.
@@ -82,6 +92,16 @@ type Summary struct {
 	// fault/recovery markers observed. Both zero for healthy campaigns.
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 	FaultEvents     int     `json:"fault_events,omitempty"`
+
+	// Serving-campaign fields (appended; zero for training campaigns).
+	// Requests/Violations total the per-class counts; Unserved counts
+	// requests the horizon cut off before completion; StreamTime is the
+	// stream clock at drain — wall time plus idle gaps — the denominator
+	// of per-class goodput.
+	Requests   int     `json:"requests,omitempty"`
+	Violations int     `json:"violations,omitempty"`
+	Unserved   int     `json:"unserved,omitempty"`
+	StreamTime float64 `json:"stream_time,omitempty"`
 }
 
 // Report is the full artifact of one campaign run.
@@ -89,6 +109,9 @@ type Report struct {
 	Summary Summary `json:"summary"`
 	// PerRankUtil is each rank's campaign-cumulative busy fraction.
 	PerRankUtil []float64 `json:"per_rank_util"`
+	// Classes holds per-SLO-class metrics for serving campaigns, highest
+	// priority first (nil for training campaigns).
+	Classes []ClassMetrics `json:"classes,omitempty"`
 	// Records holds every iteration in order.
 	Records []IterRecord `json:"records"`
 }

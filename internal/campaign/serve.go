@@ -1,0 +1,462 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"zeppelin/internal/decision"
+	"zeppelin/internal/seq"
+	"zeppelin/internal/trainer"
+	"zeppelin/internal/workload/serve"
+)
+
+// ServeConfig switches a campaign from training iterations to an
+// inference-style request stream: instead of one batch arriving per
+// iteration, a timestamped multi-client timeline (synthetic spec or
+// recorded trace) feeds a queue, each iteration forms a batch under the
+// spec's formation discipline (FCFS, priority, or SJF), routes every
+// request to a rank under the spec's routing objective (least-loaded
+// balance, or KV-affinity which prefers a session's home rank to skip
+// recomputing its shared prefix), and per-request latencies are scored
+// against the spec's SLO-class deadlines.
+type ServeConfig struct {
+	// Spec carries the serving knobs — SLO classes, formation, routing
+	// objective — and, when Trace is nil, generates the synthetic
+	// timeline.
+	Spec serve.Spec
+	// Trace, when non-nil, replaces the spec's synthetic timeline with a
+	// recorded one (trace-replay v2). Event classes must exist in
+	// Spec.Classes.
+	Trace *serve.Trace
+}
+
+// generator picks the timeline source.
+func (sc *ServeConfig) generator() serve.Generator {
+	if sc.Trace != nil {
+		return sc.Trace
+	}
+	return &sc.Spec
+}
+
+// ClassMetrics aggregates one SLO class over a serve campaign.
+type ClassMetrics struct {
+	Class    string `json:"class"`
+	Priority int    `json:"priority"`
+	// Deadline is the class's latency SLO in seconds.
+	Deadline float64 `json:"deadline"`
+	// Requests counts completions; Violations those past the deadline.
+	Requests   int `json:"requests"`
+	Violations int `json:"violations"`
+	// Tokens is the class's delivered work (full request lengths, before
+	// prefix savings).
+	Tokens int `json:"tokens"`
+	// Latency percentiles in seconds (arrival to completion, queueing
+	// included).
+	P50Latency float64 `json:"p50_latency"`
+	P99Latency float64 `json:"p99_latency"`
+	MaxLatency float64 `json:"max_latency"`
+	// Goodput is deadline-meeting tokens per second of stream time;
+	// ViolationRate is Violations/Requests.
+	Goodput       float64 `json:"goodput"`
+	ViolationRate float64 `json:"violation_rate"`
+}
+
+// classAgg is the online accumulator behind ClassMetrics.
+type classAgg struct {
+	cls        serve.SLOClass
+	latencies  []float64
+	tokens     int
+	goodTokens int
+	violations int
+}
+
+// serveState is the campaign loop state of a serving stream.
+type serveState struct {
+	gen      serve.Generator
+	spec     *serve.Spec
+	timeline []serve.Request
+	cursor   int
+	pending  []serve.Request
+	clock    float64        // stream time in seconds
+	homes    map[int]int    // session → rank last holding its KV cache
+	prio     map[string]int // class → priority, for priority formation
+	stats    map[string]*classAgg
+	unserved int
+}
+
+// validateServe checks the serve configuration and its interaction with
+// the rest of the campaign config. All errors are validation-classified.
+func (c *Config) validateServe() error {
+	sc := c.Serve
+	if err := sc.Spec.Validate(); err != nil {
+		return asValidation(err)
+	}
+	if c.Arrival != nil {
+		return validationf("campaign: serve and arrival are mutually exclusive (the serve timeline is the arrival process)")
+	}
+	if c.Faults != nil || c.Autoscaler != nil {
+		return validationf("campaign: serve campaigns do not support fault schedules or autoscaling yet")
+	}
+	if c.Flip != nil {
+		return validationf("campaign: serve campaigns do not support counterfactual flips yet")
+	}
+	return nil
+}
+
+// startServe expands the timeline and primes the serving state. Timeline
+// errors (a broken trace, an invalid spec) are validation errors.
+func (s *Stream) startServe() error {
+	sc := s.cfg.Serve
+	gen := sc.generator()
+	timeline, err := gen.Timeline(s.rng)
+	if err != nil {
+		return asValidation(err)
+	}
+	sv := &serveState{
+		gen:      gen,
+		spec:     &sc.Spec,
+		timeline: timeline,
+		homes:    make(map[int]int),
+		prio:     make(map[string]int),
+		stats:    make(map[string]*classAgg),
+	}
+	for _, cls := range sc.Spec.Classes {
+		sv.stats[cls.Name] = &classAgg{cls: cls}
+		sv.prio[cls.Name] = cls.Priority
+	}
+	for i, r := range timeline {
+		if _, ok := sv.stats[r.Class]; !ok {
+			return validationf("campaign: serve timeline event %d references unknown SLO class %q", i, r.Class)
+		}
+	}
+	s.serve = sv
+	return nil
+}
+
+// drained reports whether every request has arrived and been served.
+func (sv *serveState) drained() bool {
+	return sv.cursor >= len(sv.timeline) && len(sv.pending) == 0
+}
+
+// stepServe runs one serving tick: pull arrivals, form a batch, route
+// every request, simulate the iteration, and score latencies against the
+// per-class deadlines. The clock advances by the tick's simulated time
+// (plus any idle gap waiting for the next arrival), so queueing delay
+// compounds naturally when the stream outpaces the cluster.
+func (s *Stream) stepServe() (IterRecord, error) {
+	cfg := &s.cfg
+	sv := s.serve
+	it := s.it
+	world := s.baseWorld
+
+	// Idle fast-forward: with an empty queue the next tick starts when
+	// the next request lands.
+	if len(sv.pending) == 0 && sv.cursor < len(sv.timeline) {
+		if t := sv.timeline[sv.cursor].Arrive; t > sv.clock {
+			sv.clock = t
+		}
+	}
+	for sv.cursor < len(sv.timeline) && sv.timeline[sv.cursor].Arrive <= sv.clock {
+		sv.pending = append(sv.pending, sv.timeline[sv.cursor])
+		sv.cursor++
+	}
+
+	// Batch formation: order the queue by the discipline, then take
+	// requests in order while the token budget lasts. Routing happens
+	// inside the take loop because the affinity objective changes a
+	// request's effective cost (home-rank placement skips the shared
+	// prefix), which changes how many requests fit the tick.
+	order := sv.formationOrder()
+	budget := world * s.capacity
+	load := make([]float64, world)
+	type placed struct {
+		req  serve.Request
+		eff  int
+		home bool
+	}
+	var batchReqs []placed
+	taken := make(map[int]bool, len(order))
+	total := 0
+	for _, idx := range order {
+		req := sv.pending[idx]
+		rank, eff, homeHit := sv.route(req, load, world)
+		if total+eff > budget {
+			if len(batchReqs) > 0 {
+				break
+			}
+			// A single oversized request still runs, clamped to capacity.
+			eff = budget
+		}
+		if cfg.Decisions != nil {
+			sv.recordRoute(cfg.Decisions, it, req, load, rank, eff, homeHit, world)
+		}
+		load[rank] += float64(eff)
+		sv.homes[req.Session] = rank
+		batchReqs = append(batchReqs, placed{req: req, eff: eff, home: homeHit})
+		taken[idx] = true
+		total += eff
+	}
+	// Drop served requests, preserving arrival order of the remainder.
+	rest := sv.pending[:0]
+	for i, r := range sv.pending {
+		if !taken[i] {
+			rest = append(rest, r)
+		}
+	}
+	sv.pending = rest
+
+	// Simulate the tick on the effective (post-prefix-saving) lengths.
+	batch := make([]seq.Sequence, len(batchReqs))
+	var affinityHits, savedTokens, fullTokens int
+	for i, p := range batchReqs {
+		batch[i] = seq.Sequence{ID: i, Len: p.eff}
+		fullTokens += p.req.Tokens
+		if p.home {
+			affinityHits++
+			savedTokens += p.req.Tokens - p.eff
+		}
+	}
+	tcfg := cfg.Trainer
+	res, err := trainer.Run(tcfg, cfg.Method, batch)
+	if err != nil {
+		return IterRecord{}, asValidation(err)
+	}
+	busy := perRankBusy(res, world)
+
+	sv.clock += res.IterTime
+	var violations int
+	for _, p := range batchReqs {
+		agg := sv.stats[p.req.Class]
+		lat := sv.clock - p.req.Arrive
+		agg.latencies = append(agg.latencies, lat)
+		agg.tokens += p.req.Tokens
+		if lat > agg.cls.Deadline.Seconds() {
+			agg.violations++
+			violations++
+		} else {
+			agg.goodTokens += p.req.Tokens
+		}
+	}
+
+	queued := 0
+	for _, r := range sv.pending {
+		queued += r.Tokens
+	}
+	rec := IterRecord{
+		Iter:         it,
+		Tokens:       fullTokens,
+		Seqs:         len(batch),
+		Queued:       queued,
+		Penalty:      1,
+		Time:         res.IterTime,
+		Imbalance:    maxOverMean(busy),
+		AffinityHits: affinityHits,
+		SavedTokens:  savedTokens,
+		Violations:   violations,
+	}
+	if rec.Time > 0 {
+		rec.TokensPerSec = float64(rec.Tokens) / rec.Time
+	}
+
+	span := res.LayerTime
+	var util float64
+	if span > 0 {
+		for r, b := range busy {
+			f := b / span
+			if f > 1 {
+				f = 1
+			}
+			util += f
+			s.busySum[r] += b
+		}
+		util /= float64(world)
+		s.spanSum += span
+	}
+	rec.Utilization = util
+	return rec, nil
+}
+
+// route picks a rank for one request. Both objectives score per-rank
+// token loads of the tick being formed; the affinity objective
+// additionally credits the session's home rank with the prefix tokens it
+// would not recompute, choosing it whenever the credited placement is no
+// worse than spreading to the least-loaded rank.
+func (sv *serveState) route(req serve.Request, load []float64, world int) (rank, eff int, homeHit bool) {
+	best := 0
+	for r := 1; r < world; r++ {
+		if load[r] < load[best] {
+			best = r
+		}
+	}
+	home, hasHome := sv.homes[req.Session]
+	effHome := effectiveLen(req.Tokens - req.Prefix)
+	effFull := effectiveLen(req.Tokens)
+	if hasHome && home < world {
+		if sv.spec.Route == "affinity" {
+			if load[home]+float64(effHome) <= load[best]+float64(effFull) {
+				return home, effHome, true
+			}
+		} else if home == best {
+			// Balance routing still banks an incidental home hit.
+			return home, effHome, true
+		}
+	}
+	return best, effFull, false
+}
+
+// effectiveLen floors a routed request's placed length at the samplers'
+// 16-token remnant rule so a near-total prefix hit still occupies a slot.
+func effectiveLen(n int) int {
+	if n < 16 {
+		return 16
+	}
+	return n
+}
+
+// recordRoute emits the routing decision for a request that had a real
+// choice (an existing home rank).
+func (sv *serveState) recordRoute(tr *decision.Trace, it int, req serve.Request, load []float64, rank, eff int, homeHit bool, world int) {
+	home, hasHome := sv.homes[req.Session]
+	if !hasHome || home >= world {
+		return
+	}
+	best := 0
+	for r := 1; r < world; r++ {
+		if load[r] < load[best] {
+			best = r
+		}
+	}
+	chosen := "spread"
+	if homeHit {
+		chosen = "affinity"
+	}
+	tr.Add(decision.Record{
+		Iter: it, Kind: decision.KindRoute, Chosen: chosen,
+		Alternatives: []decision.Alternative{
+			{Choice: "affinity", Score: load[home] + float64(effectiveLen(req.Tokens-req.Prefix)), Chosen: homeHit},
+			{Choice: "spread", Score: load[best] + float64(effectiveLen(req.Tokens)), Chosen: !homeHit},
+		},
+	})
+}
+
+// formationOrder returns queue indices in serving order: fcfs keeps
+// arrival order, priority sorts by class priority (stable, so FCFS within
+// a class), sjf shortest-job-first by full request length.
+func (sv *serveState) formationOrder() []int {
+	pending := sv.pending
+	order := make([]int, len(pending))
+	for i := range order {
+		order[i] = i
+	}
+	switch sv.spec.Formation {
+	case "priority":
+		sort.SliceStable(order, func(a, b int) bool {
+			return sv.prio[pending[order[a]].Class] > sv.prio[pending[order[b]].Class]
+		})
+	case "sjf":
+		sort.SliceStable(order, func(a, b int) bool {
+			return pending[order[a]].Tokens < pending[order[b]].Tokens
+		})
+	}
+	return order
+}
+
+// finishServe folds the per-class accumulators into the report and names
+// the summary columns after the generator and the serving knobs.
+func (s *Stream) finishServe() {
+	sv := s.serve
+	sv.unserved = len(sv.pending) + (len(sv.timeline) - sv.cursor)
+	classes := make([]ClassMetrics, 0, len(sv.stats))
+	for _, cls := range sv.spec.Classes {
+		agg := sv.stats[cls.Name]
+		cm := ClassMetrics{
+			Class:      cls.Name,
+			Priority:   cls.Priority,
+			Deadline:   cls.Deadline.Seconds(),
+			Requests:   len(agg.latencies),
+			Violations: agg.violations,
+			Tokens:     agg.tokens,
+			P50Latency: Percentile(agg.latencies, 50),
+			P99Latency: Percentile(agg.latencies, 99),
+			MaxLatency: Percentile(agg.latencies, 100),
+		}
+		if sv.clock > 0 {
+			cm.Goodput = float64(agg.goodTokens) / sv.clock
+		}
+		if cm.Requests > 0 {
+			cm.ViolationRate = float64(cm.Violations) / float64(cm.Requests)
+		}
+		classes = append(classes, cm)
+	}
+	// Highest priority first, name as the deterministic tie-break.
+	sort.SliceStable(classes, func(a, b int) bool {
+		if classes[a].Priority != classes[b].Priority {
+			return classes[a].Priority > classes[b].Priority
+		}
+		return classes[a].Class < classes[b].Class
+	})
+	s.report.Classes = classes
+	s.report.summarize(s.cfg.Method.Name(), sv.gen.Name(), "serve:"+sv.spec.Formation+"+"+sv.spec.Route)
+	sum := &s.report.Summary
+	sum.StreamTime = sv.clock
+	sum.Unserved = sv.unserved
+	for _, cm := range classes {
+		sum.Requests += cm.Requests
+		sum.Violations += cm.Violations
+	}
+}
+
+// SummarizeClasses seed-averages per-class metrics across reports of the
+// same serve cell. Counts become per-seed means; latency percentiles and
+// rates average arithmetically, matching Summarize.
+func SummarizeClasses(reports []*Report) []ClassMetrics {
+	if len(reports) == 0 {
+		return nil
+	}
+	out := make([]ClassMetrics, len(reports[0].Classes))
+	copy(out, reports[0].Classes)
+	acc := make([]struct {
+		requests, violations, tokens    float64
+		p50, p99, max, goodput, vioRate float64
+	}, len(out))
+	for _, r := range reports {
+		for i, cm := range r.Classes {
+			if i >= len(acc) || cm.Class != out[i].Class {
+				continue
+			}
+			acc[i].requests += float64(cm.Requests)
+			acc[i].violations += float64(cm.Violations)
+			acc[i].tokens += float64(cm.Tokens)
+			acc[i].p50 += cm.P50Latency
+			acc[i].p99 += cm.P99Latency
+			acc[i].max += cm.MaxLatency
+			acc[i].goodput += cm.Goodput
+			acc[i].vioRate += cm.ViolationRate
+		}
+	}
+	n := float64(len(reports))
+	for i := range out {
+		out[i].Requests = int(acc[i].requests / n)
+		out[i].Violations = int(acc[i].violations / n)
+		out[i].Tokens = int(acc[i].tokens / n)
+		out[i].P50Latency = acc[i].p50 / n
+		out[i].P99Latency = acc[i].p99 / n
+		out[i].MaxLatency = acc[i].max / n
+		out[i].Goodput = acc[i].goodput / n
+		out[i].ViolationRate = acc[i].vioRate / n
+	}
+	return out
+}
+
+// WriteClassTable renders per-class serve metrics as a text table — the
+// rendering the CLI serve subcommand and the fig16 experiment share.
+func WriteClassTable(w io.Writer, classes []ClassMetrics) {
+	fmt.Fprintf(w, "  %-14s %5s %9s %9s %9s %10s %10s %9s %8s\n",
+		"class", "prio", "deadline", "requests", "violates", "p50(s)", "p99(s)", "goodput", "viol%")
+	for _, c := range classes {
+		fmt.Fprintf(w, "  %-14s %5d %8.2fs %9d %9d %10.3f %10.3f %9.0f %7.1f%%\n",
+			c.Class, c.Priority, c.Deadline, c.Requests, c.Violations,
+			c.P50Latency, c.P99Latency, c.Goodput, 100*c.ViolationRate)
+	}
+}

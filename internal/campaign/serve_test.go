@@ -1,0 +1,319 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"zeppelin/internal/decision"
+	"zeppelin/internal/workload"
+	"zeppelin/internal/workload/serve"
+	"zeppelin/internal/zeppelin"
+)
+
+// serveSpec builds a small, bursty two-class serving scenario that
+// drains in a few dozen ticks on the test cell.
+func serveSpec(route string) serve.Spec {
+	spec, err := serve.Parse("clients=3,arrival=gamma:cv=2.0,rate=30@0-8s,slo=interactive:p99=2s:prio=2;batch:p99=8s:prio=1,prefix=0.6,route=" + route)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func serveConfig(seed int64, route string) Config {
+	return Config{
+		Trainer: testCell(seed), Method: zeppelin.Full(), Iters: 500,
+		Serve: &ServeConfig{Spec: serveSpec(route)},
+	}
+}
+
+func TestServeCampaignBasicShape(t *testing.T) {
+	rep := runCampaign(t, serveConfig(1, "balance"))
+	if len(rep.Records) == 0 {
+		t.Fatal("no serving ticks ran")
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("%d class rows, want 2", len(rep.Classes))
+	}
+	if rep.Classes[0].Class != "interactive" || rep.Classes[1].Class != "batch" {
+		t.Fatalf("classes out of priority order: %+v", rep.Classes)
+	}
+	var requests int
+	for _, cm := range rep.Classes {
+		requests += cm.Requests
+		if cm.Requests == 0 {
+			t.Fatalf("class %s served no requests", cm.Class)
+		}
+		if cm.Violations > cm.Requests {
+			t.Fatalf("class %s has more violations than requests", cm.Class)
+		}
+		if cm.P50Latency <= 0 || cm.P99Latency < cm.P50Latency {
+			t.Fatalf("class %s latencies malformed: %+v", cm.Class, cm)
+		}
+		if cm.Goodput < 0 {
+			t.Fatalf("class %s negative goodput", cm.Class)
+		}
+	}
+	if rep.Summary.Requests != requests {
+		t.Fatalf("summary requests %d != class total %d", rep.Summary.Requests, requests)
+	}
+	if rep.Summary.Unserved != 0 {
+		t.Fatalf("stream left %d requests unserved", rep.Summary.Unserved)
+	}
+	if rep.Summary.StreamTime <= 0 {
+		t.Fatal("no stream time accumulated")
+	}
+	if rep.Summary.Arrival != "serve(3xgamma cv=2,2cls)" {
+		t.Fatalf("arrival label = %q", rep.Summary.Arrival)
+	}
+	if rep.Summary.Policy != "serve:priority+balance" {
+		t.Fatalf("policy label = %q", rep.Summary.Policy)
+	}
+	for _, rec := range rep.Records {
+		if rec.Time <= 0 || rec.Seqs == 0 {
+			t.Fatalf("tick %d empty or timeless: %+v", rec.Iter, rec)
+		}
+		if rec.Replanned {
+			t.Fatalf("tick %d claims a replan in serve mode", rec.Iter)
+		}
+	}
+}
+
+func TestServeAffinitySavesTokens(t *testing.T) {
+	balance := runCampaign(t, serveConfig(1, "balance"))
+	affinity := runCampaign(t, serveConfig(1, "affinity"))
+	saved := func(r *Report) (n int) {
+		for _, rec := range r.Records {
+			n += rec.SavedTokens
+		}
+		return n
+	}
+	if sa, sb := saved(affinity), saved(balance); sa <= sb {
+		t.Fatalf("affinity routing saved %d tokens, balance %d — affinity should save more", sa, sb)
+	}
+}
+
+func TestServeDeterministicAcrossWorkers(t *testing.T) {
+	// The trace-replay v2 determinism contract: identical serve grids at
+	// workers 1, 4, and GOMAXPROCS produce byte-identical reports.
+	cfgs := func() []Config {
+		var out []Config
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, route := range []string{"balance", "affinity"} {
+				out = append(out, serveConfig(seed, route))
+			}
+		}
+		return out
+	}
+	var base []byte
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		reports, err := RunGrid(context.Background(), cfgs(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = raw
+			continue
+		}
+		if !bytes.Equal(base, raw) {
+			t.Fatalf("workers=%d produced different reports", workers)
+		}
+	}
+}
+
+func TestServeTraceReplayMatchesSpec(t *testing.T) {
+	// Recording a spec's timeline and replaying it as a trace must
+	// reproduce the spec campaign bit for bit (the spec's rng draws
+	// happen before the serving loop starts, so replay sees the same
+	// stream).
+	cfg := serveConfig(5, "affinity")
+	specRep := runCampaign(t, cfg)
+
+	spec := serveSpec("affinity")
+	timeline, err := spec.Timeline(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trCfg := serveConfig(5, "affinity")
+	trCfg.Serve.Trace = &serve.Trace{Source: "recorded", Events: timeline}
+	traceRep := runCampaign(t, trCfg)
+
+	if !reflect.DeepEqual(specRep.Records, traceRep.Records) {
+		t.Fatal("trace replay diverged from the generative run")
+	}
+	if !reflect.DeepEqual(specRep.Classes, traceRep.Classes) {
+		t.Fatal("trace replay class metrics diverged")
+	}
+}
+
+func TestServeRouteDecisionsTraced(t *testing.T) {
+	tr := &decision.Trace{}
+	cfg := serveConfig(2, "affinity")
+	cfg.Decisions = tr
+	runCampaign(t, cfg)
+	if n := tr.CountKind(decision.KindRoute, ""); n == 0 {
+		t.Fatal("no route decisions recorded")
+	}
+	affinity, spread := 0, 0
+	for _, rec := range tr.Records() {
+		if rec.Kind != decision.KindRoute {
+			continue
+		}
+		if len(rec.Alternatives) != 2 {
+			t.Fatalf("route record has %d alternatives", len(rec.Alternatives))
+		}
+		switch rec.Chosen {
+		case "affinity":
+			affinity++
+		case "spread":
+			spread++
+		default:
+			t.Fatalf("route chose %q", rec.Chosen)
+		}
+	}
+	if affinity == 0 {
+		t.Fatal("affinity routing never chose the home rank")
+	}
+	_ = spread // spread may legitimately be zero on an uncontended cell
+}
+
+func TestServeFormationOrders(t *testing.T) {
+	sv := &serveState{
+		spec: &serve.Spec{Formation: "priority"},
+		prio: map[string]int{"hi": 2, "lo": 1},
+		pending: []serve.Request{
+			{Class: "lo", Tokens: 100},
+			{Class: "hi", Tokens: 300},
+			{Class: "lo", Tokens: 50},
+			{Class: "hi", Tokens: 200},
+		},
+	}
+	if got := sv.formationOrder(); !reflect.DeepEqual(got, []int{1, 3, 0, 2}) {
+		t.Fatalf("priority order = %v", got)
+	}
+	sv.spec = &serve.Spec{Formation: "sjf"}
+	if got := sv.formationOrder(); !reflect.DeepEqual(got, []int{2, 0, 3, 1}) {
+		t.Fatalf("sjf order = %v", got)
+	}
+	sv.spec = &serve.Spec{Formation: "fcfs"}
+	if got := sv.formationOrder(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("fcfs order = %v", got)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	base := serveConfig(1, "balance")
+
+	arrival := base
+	arrival.Arrival = Steady{D: workload.ArXiv}
+	faulty := base
+	faulty.Autoscaler = &Autoscaler{MinNodes: 1, MaxNodes: 2}
+	flipped := base
+	flipped.Flip = &Flip{Iter: 1, Replan: true}
+	badSpec := base
+	badSpec.Serve = &ServeConfig{Spec: serve.Spec{Clients: -1}}
+	badTrace := base
+	badTrace.Serve = &ServeConfig{
+		Spec:  serveSpec("balance"),
+		Trace: &serve.Trace{Events: []serve.Request{{Arrive: 0, Tokens: 64, Class: "nope"}}},
+	}
+	emptyTrace := base
+	emptyTrace.Serve = &ServeConfig{Spec: serveSpec("balance"), Trace: &serve.Trace{}}
+
+	for name, cfg := range map[string]Config{
+		"arrival+serve": arrival, "autoscaler+serve": faulty, "flip+serve": flipped,
+		"bad spec": badSpec, "unknown trace class": badTrace, "empty trace": emptyTrace,
+	} {
+		_, err := Start(context.Background(), cfg)
+		if err == nil {
+			t.Errorf("%s: Start succeeded, want validation error", name)
+			continue
+		}
+		if !IsValidation(err) {
+			t.Errorf("%s: error not validation-classified: %v", name, err)
+		}
+	}
+}
+
+func TestValidationClassification(t *testing.T) {
+	// Satellite: bad campaign inputs must be distinguishable from
+	// internal failures so the HTTP layer can answer 400.
+	bad := Config{Trainer: testCell(1), Method: zeppelin.Full(), Iters: 5,
+		Arrival: Replay{Trace: "broken", Batches: nil}}
+	if err := bad.Validate(); err == nil || !IsValidation(err) {
+		t.Fatalf("empty replay trace: err = %v, want validation error", err)
+	}
+
+	nan := Config{Trainer: testCell(1), Method: zeppelin.Full(), Iters: 5,
+		Arrival: Steady{D: workload.Dataset{Name: "corrupt",
+			Probs: []float64{math.NaN(), 0.9, 0.1, 0, 0, 0, 0, 0, 0}}}}
+	if err := nan.Validate(); err == nil || !IsValidation(err) {
+		t.Fatalf("NaN dataset: err = %v, want validation error", err)
+	}
+
+	neg := Config{Trainer: testCell(1), Method: zeppelin.Full(), Iters: 5,
+		ReplanCost: -1}
+	if err := neg.Validate(); err == nil || !IsValidation(err) {
+		t.Fatalf("negative replan cost: err = %v, want validation error", err)
+	}
+}
+
+func TestServeDrainsEarly(t *testing.T) {
+	cfg := serveConfig(1, "balance")
+	cfg.Iters = 100000
+	rep := runCampaign(t, cfg)
+	if len(rep.Records) >= cfg.Iters {
+		t.Fatal("serve campaign did not end when the timeline drained")
+	}
+}
+
+func TestServeHorizonCutoff(t *testing.T) {
+	cfg := serveConfig(1, "balance")
+	cfg.Iters = 3
+	rep := runCampaign(t, cfg)
+	if len(rep.Records) != 3 {
+		t.Fatalf("%d records, want the 3-tick horizon", len(rep.Records))
+	}
+	if rep.Summary.Unserved == 0 {
+		t.Fatal("cut-off stream reports no unserved requests")
+	}
+}
+
+func TestServeDeadlinesBindViolations(t *testing.T) {
+	// A spec with microsecond deadlines must violate on every request;
+	// generous deadlines on the same stream must not.
+	strict, err := serve.Parse("clients=2,rate=20@0-4s,slo=tight:p99=1us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := strict
+	loose.Classes = []serve.SLOClass{{Name: "tight", Deadline: time.Hour, Priority: 0}}
+	for _, tc := range []struct {
+		spec     serve.Spec
+		wantAll  bool
+		wantNone bool
+	}{{strict, true, false}, {loose, false, true}} {
+		rep := runCampaign(t, Config{
+			Trainer: testCell(1), Method: zeppelin.Full(), Iters: 500,
+			Serve: &ServeConfig{Spec: tc.spec},
+		})
+		cm := rep.Classes[0]
+		if tc.wantAll && cm.Violations != cm.Requests {
+			t.Fatalf("tight deadline: %d/%d violations", cm.Violations, cm.Requests)
+		}
+		if tc.wantNone && cm.Violations != 0 {
+			t.Fatalf("loose deadline: %d violations", cm.Violations)
+		}
+	}
+}

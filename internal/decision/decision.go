@@ -42,6 +42,11 @@ const (
 	// observed queue depth and utilization. Forced marks verdicts the
 	// cooldown window overrode.
 	KindScale Kind = "scale"
+	// KindRoute is the serving router's placement verdict for a request
+	// whose session already has a home rank: keep it home to reuse the
+	// KV-cached prefix ("affinity") or spread it to the least-loaded rank
+	// ("spread"). Recorded only for serve campaigns.
+	KindRoute Kind = "route"
 )
 
 // Alternative is one scored option the decision site considered.

@@ -16,6 +16,9 @@
 //	Fig11   — component ablation
 //	Fig12   — attention timeline traces
 //	Fig13   — streaming campaign: 200-iteration drifting stream
+//	Fig14   — fault-schedule campaigns: failures, stragglers, scaling
+//	Fig15   — planner fast-path scaling sweep to 8192 ranks
+//	Fig16   — serving scenario: SLO classes, balance vs affinity routing
 //	Table3  — per-component cost ranges, balanced vs skewed
 package experiments
 

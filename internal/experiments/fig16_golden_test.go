@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestFig16Golden pins the serving-scenario routing comparison at one
+// seed: per-route token throughput, tick p99, prefix-token reuse, and
+// the per-class latency/violation numbers, plus the headline — affinity
+// routing beating balance on the interactive class's p99 and clearing
+// its deadline violations entirely. The serve stream is fully
+// deterministic, so drift here means a code change silently altered the
+// serving results — if intentional, re-pin and say so in the commit.
+func TestFig16Golden(t *testing.T) {
+	res, err := Fig16(Options{Seeds: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type golden struct {
+		tput, p99tick, saved, violrate float64
+		classes                        map[string][4]float64 // p50, p99, goodput, violations
+	}
+	want := map[string]golden{
+		"balance": {27372.954667, 1.749033, 91603, 0.107064, map[string][4]float64{
+			"interactive": {1.747028, 3.503146, 10418.568178, 241},
+			"batch":       {1.847974, 6.235910, 13269.031802, 0},
+		}},
+		"affinity": {27885.066214, 0.705543, 1113833, 0, map[string][4]float64{
+			"interactive": {0.414020, 1.541067, 13496.615591, 0},
+			"batch":       {0.382530, 1.462457, 13271.881865, 0},
+		}},
+	}
+	if len(res.Routes) != len(want) {
+		t.Fatalf("%d routes, want %d", len(res.Routes), len(want))
+	}
+	for _, r := range res.Routes {
+		g, ok := want[r.Route]
+		if !ok {
+			t.Errorf("unexpected route row %q", r.Route)
+			continue
+		}
+		near(t, r.Route+"/tput", r.Row.TokensPerSec, g.tput)
+		near(t, r.Route+"/p99tick", r.Row.P99IterTime, g.p99tick)
+		near(t, r.Route+"/saved", r.SavedTokens, g.saved)
+		near(t, r.Route+"/violrate", r.ViolationRate, g.violrate)
+		if len(r.Classes) != len(g.classes) {
+			t.Fatalf("route %s has %d classes, want %d", r.Route, len(r.Classes), len(g.classes))
+		}
+		for _, cm := range r.Classes {
+			c, ok := g.classes[cm.Class]
+			if !ok {
+				t.Errorf("route %s: unexpected class %q", r.Route, cm.Class)
+				continue
+			}
+			near(t, r.Route+"/"+cm.Class+"/p50", cm.P50Latency, c[0])
+			near(t, r.Route+"/"+cm.Class+"/p99", cm.P99Latency, c[1])
+			near(t, r.Route+"/"+cm.Class+"/goodput", cm.Goodput, c[2])
+			near(t, r.Route+"/"+cm.Class+"/violations", float64(cm.Violations), c[3])
+		}
+	}
+	// Headline: what KV-affinity routing is worth for the
+	// deadline-tightest class under the burst.
+	near(t, "affinity interactive-p99 win", Fig16AffinityWin(res), 2.273195)
+	if Fig16AffinityWin(res) <= 1.5 {
+		t.Fatalf("affinity no longer clearly beats balance: win = %v", Fig16AffinityWin(res))
+	}
+
+	// The sample report is affinity seed 0 with the full tick stream.
+	if res.Sample == nil || len(res.Sample.Records) == 0 {
+		t.Fatalf("sample report missing: %+v", res.Sample)
+	}
+	if res.Sample.Summary.Requests == 0 || res.Sample.Summary.Unserved != 0 {
+		t.Fatalf("sample stream did not drain: %+v", res.Sample.Summary)
+	}
+}
+
+// TestFig16SerialParallelIdentical is the serving acceptance invariant:
+// the whole route×seed serve grid — per-tick records included — must be
+// bit-identical on one worker and on an oversubscribed pool.
+func TestFig16SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serve grid in -short mode")
+	}
+	serial, err := Fig16(Options{Seeds: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig16(Options{Seeds: 1, Workers: 2 * runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Routes, parallel.Routes) {
+		t.Fatal("serial and parallel serve routes differ")
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(parallel)
+	if string(a) != string(b) {
+		t.Fatal("serial and parallel serve artifacts differ")
+	}
+}

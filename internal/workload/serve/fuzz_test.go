@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse mirrors FuzzParseSpace: any input must either fail cleanly or
+// yield a spec that validates and expands into a well-formed timeline.
+func FuzzParse(f *testing.F) {
+	f.Add("clients=3,arrival=gamma:cv=2.0,rate=50@0-60s;120@60-300s,slo=interactive:p99=200ms")
+	f.Add("rate=20,horizon=90s,form=sjf,route=affinity")
+	f.Add("arrival=weibull:shape=0.5,prefix=0.9")
+	f.Add("slo=a:p99=1s:prio=3;b:p99=10s")
+	f.Add("")
+	f.Add("clients=-1")
+	f.Add("rate=1e309")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted a spec that fails Validate: %v", s, verr)
+		}
+		// Keep the expansion bounded: cap the horizon so a fuzzed
+		// "rate=1000@0-10000s" doesn't allocate millions of requests.
+		total := 0.0
+		for _, w := range spec.Windows {
+			total += w.Rate * (w.To - w.From).Seconds()
+		}
+		if total > 50000 {
+			return
+		}
+		reqs, terr := spec.Timeline(rand.New(rand.NewSource(1)))
+		if terr != nil {
+			t.Fatalf("Parse(%q) accepted a spec whose Timeline fails: %v", s, terr)
+		}
+		for i, r := range reqs {
+			if r.Tokens < 1 || r.Prefix < 0 || r.Prefix >= r.Tokens || r.Arrive < 0 {
+				t.Fatalf("Parse(%q) timeline event %d malformed: %+v", s, i, r)
+			}
+			if i > 0 && r.Arrive < reqs[i-1].Arrive {
+				t.Fatalf("Parse(%q) timeline unsorted at %d", s, i)
+			}
+		}
+	})
+}

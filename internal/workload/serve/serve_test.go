@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFull(t *testing.T) {
+	spec, err := Parse("clients=3,arrival=gamma:cv=2.0,rate=50@0-60s;120@60-300s,slo=interactive:p99=200ms:prio=2;batch:p99=2s,dataset=arxiv,sessions=4,prefix=0.6,form=sjf,route=affinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Clients != 3 || spec.Process != ProcessGamma || spec.CV != 2.0 {
+		t.Errorf("clients/arrival wrong: %+v", spec)
+	}
+	want := []RateWindow{
+		{From: 0, To: 60 * time.Second, Rate: 50},
+		{From: 60 * time.Second, To: 300 * time.Second, Rate: 120},
+	}
+	if !reflect.DeepEqual(spec.Windows, want) {
+		t.Errorf("windows = %+v, want %+v", spec.Windows, want)
+	}
+	wantCls := []SLOClass{
+		{Name: "interactive", Deadline: 200 * time.Millisecond, Priority: 2},
+		{Name: "batch", Deadline: 2 * time.Second, Priority: -1},
+	}
+	if !reflect.DeepEqual(spec.Classes, wantCls) {
+		t.Errorf("classes = %+v, want %+v", spec.Classes, wantCls)
+	}
+	if spec.Dataset != "arxiv" || spec.Sessions != 4 || spec.Prefix != 0.6 {
+		t.Errorf("dataset/sessions/prefix wrong: %+v", spec)
+	}
+	if spec.Formation != "sjf" || spec.Route != "affinity" {
+		t.Errorf("form/route wrong: %+v", spec)
+	}
+	if spec.Horizon != 300*time.Second {
+		t.Errorf("horizon = %v, want 300s (extended to cover windows)", spec.Horizon)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, DefaultSpec()) {
+		t.Errorf("Parse(\"\") = %+v, want DefaultSpec", spec)
+	}
+}
+
+func TestParseBareRateUsesHorizon(t *testing.T) {
+	spec, err := Parse("rate=20,horizon=90s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Windows) != 1 || spec.Windows[0].To != 90*time.Second || spec.Windows[0].Rate != 20 {
+		t.Errorf("windows = %+v, want one 0-90s window at 20", spec.Windows)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"clients=0",
+		"clients=x",
+		"arrival=normal",
+		"arrival=gamma:cv=0",
+		"arrival=gamma:cv=nan",
+		"arrival=weibull:shape=-1",
+		"rate=0",
+		"rate=-5",
+		"rate=10@60s-30s",
+		"rate=10@0-60s;20@30s-90s", // overlapping windows
+		"slo=:p99=1s",
+		"slo=a:p99=0s",
+		"slo=a:p99=1s;a:p99=2s", // duplicate class
+		"slo=a:p99=1s:prio=x",
+		"dataset=nope",
+		"sessions=0",
+		"prefix=1.5",
+		"prefix=-0.1",
+		"form=lifo",
+		"route=random",
+		"bogus=1",
+		"noequals",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	spec, err := Parse("clients=3,arrival=gamma:cv=2.0,rate=40@0-10s,slo=interactive:p99=500ms:prio=2;batch:p99=4s:prio=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := spec.Timeline(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Timeline(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different timelines")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for i, r := range a {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if i > 0 && r.Arrive < a[i-1].Arrive {
+			t.Fatalf("timeline not sorted at %d", i)
+		}
+		if r.Arrive < 0 || r.Arrive >= 10 {
+			t.Fatalf("arrival %v outside window", r.Arrive)
+		}
+		if r.Tokens < 16 {
+			t.Fatalf("request %d has %d tokens", i, r.Tokens)
+		}
+		if r.Prefix < 0 || r.Prefix >= r.Tokens {
+			t.Fatalf("request %d prefix %d out of range", i, r.Prefix)
+		}
+		if r.Class != "interactive" && r.Class != "batch" {
+			t.Fatalf("request %d has class %q", i, r.Class)
+		}
+	}
+}
+
+func TestTimelineRateRoughlyHonored(t *testing.T) {
+	for _, proc := range []string{"poisson", "gamma:cv=2.0", "weibull:shape=0.7"} {
+		spec, err := Parse("clients=4,arrival=" + proc + ",rate=50@0-100s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := spec.Timeline(rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 50 req/s × 100 s = 5000 expected; allow a wide tolerance since
+		// bursty processes have high variance.
+		if n := len(reqs); n < 3500 || n > 6500 {
+			t.Errorf("%s: %d requests, want ~5000", proc, n)
+		}
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []float64{0.25, 1, 4} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, k)
+		}
+		if mean := sum / n; math.Abs(mean-k) > 0.1*k {
+			t.Errorf("gamma(k=%v) mean = %v, want ~%v", k, mean, k)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	spec := DefaultSpec()
+	reqs, err := spec.Timeline(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Source: "test", Events: got}
+	replayed, err := tr.Timeline(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, reqs) {
+		t.Fatal("trace round trip changed the timeline")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Request
+	}{
+		{"negative arrive", Request{Arrive: -1, Tokens: 32, Class: "a"}},
+		{"nan arrive", Request{Arrive: math.NaN(), Tokens: 32, Class: "a"}},
+		{"zero tokens", Request{Arrive: 0, Tokens: 0, Class: "a"}},
+		{"no class", Request{Arrive: 0, Tokens: 32}},
+		{"prefix too big", Request{Arrive: 0, Tokens: 32, Class: "a", Prefix: 32}},
+		{"negative client", Request{Arrive: 0, Tokens: 32, Class: "a", Client: -1}},
+	}
+	for _, c := range cases {
+		tr := &Trace{Events: []Request{c.ev}}
+		if _, err := tr.Timeline(nil); err == nil {
+			t.Errorf("%s: Timeline succeeded, want error", c.name)
+		}
+	}
+	if _, err := (&Trace{}).Timeline(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReadTraceBadJSON(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil {
+		t.Fatal("bad NDJSON accepted")
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	spec := DefaultSpec()
+	if got := spec.Name(); got != "serve(2xpoisson,2cls)" {
+		t.Errorf("Name = %q", got)
+	}
+	spec.Process = ProcessGamma
+	spec.CV = 2
+	if got := spec.Name(); got != "serve(2xgamma cv=2,2cls)" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"zeppelin/internal/seq"
@@ -85,8 +86,11 @@ func (d Dataset) Validate() error {
 		return fmt.Errorf("workload %s: %d bins, want %d", d.Name, len(d.Probs), len(Bins))
 	}
 	for i, p := range d.Probs {
-		if p < 0 {
-			return fmt.Errorf("workload %s: negative probability in bin %d", d.Name, i)
+		// NaN fails every comparison, so the explicit check matters: a
+		// NaN weight would otherwise slip through both this guard and
+		// the sum band below and corrupt every SampleLen draw.
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("workload %s: bin %d weight %v is not a finite non-negative number", d.Name, i, p)
 		}
 	}
 	// Accept the paper's rounded rows (GitHub sums to 0.945 in Table 2).

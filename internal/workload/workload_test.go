@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -33,6 +34,10 @@ func TestValidateCatchesBadDistributions(t *testing.T) {
 		{"short", []float64{1}},
 		{"neg", []float64{-0.1, 1.1, 0, 0, 0, 0, 0, 0, 0}},
 		{"sum", []float64{0.1, 0.1, 0, 0, 0, 0, 0, 0, 0}},
+		// NaN fails every comparison, so it used to slip through both
+		// the negative check and the sum band.
+		{"nan", []float64{math.NaN(), 1, 0, 0, 0, 0, 0, 0, 0}},
+		{"inf", []float64{math.Inf(1), 0, 0, 0, 0, 0, 0, 0, 0}},
 	}
 	for _, d := range bad {
 		if err := d.Validate(); err == nil {

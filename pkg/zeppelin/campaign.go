@@ -182,6 +182,9 @@ func (c *Campaign) Report() *CampaignReport {
 	for i, rec := range rep.Records {
 		out.Events[i] = eventOf(rec)
 	}
+	for _, cm := range rep.Classes {
+		out.Classes = append(out.Classes, classMetricsOf(cm))
+	}
 	return out
 }
 
@@ -264,10 +267,14 @@ func CompareCampaigns(ctx context.Context, req CampaignRequest, seeds, workers i
 	if err != nil {
 		return nil, err
 	}
+	// Labels come from the drained summary rather than the config: serve
+	// campaigns have no Arrival/Policy objects (the serve spec owns the
+	// stream), and for training campaigns the summary carries the exact
+	// same names.
 	cmp := &CampaignComparison{
 		iters:   req.Iters,
-		arrival: cfgs[0].Arrival.Name(),
-		policy:  cfgs[0].Policy.Name(),
+		arrival: reports[0].Summary.Arrival,
+		policy:  reports[0].Summary.Policy,
 		seeds:   seeds,
 	}
 	if cfgs[0].Faults != nil {
@@ -318,6 +325,10 @@ func (a *CampaignComparison) WriteText(w io.Writer) error {
 		a.iters, a.arrival, a.policy, label, a.seeds)
 	campaign.WriteRowTable(w, a.rows)
 	last := a.reports[len(a.reports)-1]
+	if len(last.Classes) > 0 {
+		fmt.Fprintf(w, "\n%s per-class serving metrics (seed 0):\n", last.Summary.Method)
+		campaign.WriteClassTable(w, last.Classes)
+	}
 	fmt.Fprintf(w, "\n%s campaign (seed 0):\n", last.Summary.Method)
 	trace.CampaignTimeline(w, last.TraceRows(), 60, 25)
 	return nil

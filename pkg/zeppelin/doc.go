@@ -34,6 +34,16 @@
 //     seeding plus a mutation/selection loop. The report carries the
 //     per-candidate fitness breakdown and the winner's ready-to-paste
 //     flag set, and is bit-identical at every Workers count.
+//   - ServeSpec / ParseServeSpec / CompareServeRoutes — serving
+//     scenarios: the -serve flag grammar (multi-client arrivals, rate
+//     windows, SLO classes, sessions/prefixes) as a wire object on
+//     CampaignRequest.Serve, the balance-vs-affinity routing comparison
+//     grid, and trace-replay v2 (GenerateServeTimeline,
+//     WriteServeTrace/ReadServeTrace round-trip the timestamped NDJSON
+//     trace format bit-identically). Serve reports carry per-SLO-class
+//     metrics (ClassMetrics); IsValidationError distinguishes client
+//     mistakes — bad specs, NaN dataset weights, broken traces — from
+//     engine failures, which zeppelind maps to 400 vs 500.
 //   - RunExperiment / RenderExperiment — every paper table and figure by
 //     name ("fig8", "table3", …), structured or paper-style text.
 //   - CompareCampaigns — the CLI's (method × seed) campaign comparison

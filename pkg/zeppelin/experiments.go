@@ -27,7 +27,7 @@ type Options struct {
 // the CLI and expands to this sequence).
 func Experiments() []string {
 	return []string{"fig1", "table2", "fig3", "fig5", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table3"}
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3"}
 }
 
 // IsExperiment reports whether name is a runnable experiment.
@@ -85,6 +85,8 @@ func runExperiment(name string, opts experiments.Options) (any, error) {
 		return experiments.Fig14(opts)
 	case "fig15":
 		return experiments.Fig15(opts)
+	case "fig16":
+		return experiments.Fig16(opts)
 	case "table3":
 		return experiments.Table3Opts(opts)
 	}
@@ -126,6 +128,8 @@ func renderExperiment(w io.Writer, name string, opts experiments.Options) error 
 		return experiments.WriteFig14(w, opts)
 	case "fig15":
 		return experiments.WriteFig15(w, opts)
+	case "fig16":
+		return experiments.WriteFig16(w, opts)
 	case "table3":
 		cols, err := experiments.Table3Opts(opts)
 		if err != nil {

@@ -76,6 +76,55 @@ func canonicalFixtures() map[string]any {
 				Step: 1, Cooldown: 3,
 			},
 		},
+		"campaign_request_serve": CampaignRequest{
+			Model: "7B",
+			Cluster: ClusterSpec{
+				Preset: "A", Nodes: 2, TP: 1, TokensPerGPU: 4096,
+			},
+			Method: "zeppelin",
+			Iters:  500,
+			Seed:   1000,
+			Serve: &ServeSpec{
+				Clients: 3,
+				Arrival: "gamma",
+				CV:      2.0,
+				Windows: []ServeWindow{
+					{FromSec: 0, ToSec: 60, Rate: 50},
+					{FromSec: 60, ToSec: 300, Rate: 120},
+				},
+				Classes: []SLOClass{
+					{Name: "interactive", P99Sec: 0.2, Priority: 2},
+					{Name: "batch", P99Sec: 8, Priority: 1},
+				},
+				Dataset:    "stackexchange",
+				Sessions:   8,
+				Prefix:     0.5,
+				Formation:  "priority",
+				Route:      "affinity",
+				HorizonSec: 300,
+			},
+		},
+		"serve_trace_event": ServeTraceEvent{
+			T:       1.25,
+			Client:  2,
+			Class:   "interactive",
+			Tokens:  412,
+			Session: 17,
+			Prefix:  206,
+		},
+		"class_metrics": ClassMetrics{
+			Class:         "interactive",
+			Priority:      2,
+			Deadline:      0.2,
+			Requests:      1800,
+			Violations:    36,
+			Tokens:        741200,
+			P50Latency:    0.041,
+			P99Latency:    0.188,
+			MaxLatency:    0.244,
+			Goodput:       2412.5,
+			ViolationRate: 0.02,
+		},
 		"campaign_event": CampaignEvent{
 			Iter:         17,
 			Tokens:       65536,
@@ -90,6 +139,42 @@ func canonicalFixtures() map[string]any {
 			Recovery:     0.5,
 			Events:       []string{"straggler:rank4 x2.5"},
 			World:        16,
+		},
+		"campaign_event_serve": CampaignEvent{
+			Iter:         4,
+			Tokens:       14336,
+			Seqs:         9,
+			Replanned:    false,
+			Time:         0.41,
+			TokensPerSec: 34965.8,
+			Imbalance:    1.07,
+			Penalty:      1,
+			Utilization:  0.91,
+			Queued:       2048,
+			AffinityHits: 6,
+			SavedTokens:  1236,
+			Violations:   1,
+		},
+		"campaign_summary_serve": CampaignSummary{
+			Method:          "Zeppelin",
+			Arrival:         "serve(3xgamma cv=2,2cls)",
+			Policy:          "serve:priority+affinity",
+			Iters:           42,
+			TotalTokens:     602112,
+			WallTime:        17.2,
+			TokensPerSec:    35006.5,
+			MeanIterTime:    0.41,
+			P50IterTime:     0.4,
+			P95IterTime:     0.47,
+			P99IterTime:     0.51,
+			MaxIterTime:     0.55,
+			MeanImbalance:   1.06,
+			MaxImbalance:    1.21,
+			MeanUtilization: 0.9,
+			Requests:        1420,
+			Violations:      31,
+			Unserved:        0,
+			StreamTime:      18.4,
 		},
 		"campaign_summary": CampaignSummary{
 			Method:          "Zeppelin",

@@ -321,6 +321,14 @@ type CampaignRequest struct {
 	// utilization through the elastic-rescale path. Mutually exclusive
 	// with Faults (both own the world size).
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	// Serve, when non-nil, switches the campaign to a serving scenario:
+	// a timestamped multi-client request stream with SLO classes, batch
+	// formation, and a routing objective. Mutually exclusive with
+	// Workload, Policy, Faults, and Autoscale — the serve spec owns the
+	// arrival process and there is no replanning controller in serve
+	// mode. Iters caps the tick count; the stream ends early when the
+	// timeline drains.
+	Serve *ServeSpec `json:"serve,omitempty"`
 }
 
 // AutoscaleSpec is the wire form of the campaign autoscaler's gains.
@@ -426,6 +434,36 @@ func (r CampaignRequest) configWith(pc *PlanCache) (campaign.Config, error) {
 	if err := tcfg.Validate(); err != nil {
 		return campaign.Config{}, err
 	}
+	if r.Serve != nil {
+		// Serve mode: the serve spec owns the arrival process, and the
+		// serving loop has no replanning controller, fault schedule, or
+		// autoscaler — reject the conflicting knobs instead of silently
+		// ignoring them.
+		if r.Workload.Dataset != "" || r.Workload.Arrival != "" || len(r.Workload.DriftPath) > 0 {
+			return campaign.Config{}, campaign.NewValidationError(fmt.Errorf("zeppelin: serve and workload are mutually exclusive (the serve spec carries its own dataset and arrival process)"))
+		}
+		if r.Policy != (PolicySpec{}) {
+			return campaign.Config{}, campaign.NewValidationError(fmt.Errorf("zeppelin: serve campaigns have no replanning policy"))
+		}
+		if faultsSpecOrNone(r.Faults) != "none" || r.Autoscale != nil {
+			return campaign.Config{}, campaign.NewValidationError(fmt.Errorf("zeppelin: serve campaigns do not support fault schedules or autoscaling yet"))
+		}
+		sc, err := r.Serve.resolve()
+		if err != nil {
+			return campaign.Config{}, campaign.NewValidationError(err)
+		}
+		cfg := campaign.Config{
+			Trainer:    tcfg,
+			Method:     m,
+			Iters:      r.Iters,
+			ReplanCost: r.ReplanCostSec,
+			Serve:      sc,
+		}
+		if err := cfg.Validate(); err != nil {
+			return campaign.Config{}, err
+		}
+		return cfg, nil
+	}
 	arr, err := r.Workload.arrival(r.Iters, tcfg.TotalTokens())
 	if err != nil {
 		return campaign.Config{}, err
@@ -507,6 +545,17 @@ type CampaignEvent struct {
 	// World is the active data-parallel world size (fault schedules
 	// only, where it can change mid-campaign).
 	World int `json:"world,omitempty"`
+	// Queued is the request-token backlog left pending after the tick
+	// (serve campaigns only).
+	Queued int `json:"queued,omitempty"`
+	// AffinityHits counts requests served on their session's home rank
+	// this tick; SavedTokens the prefix tokens that reuse skipped
+	// (serve campaigns only).
+	AffinityHits int `json:"affinity_hits,omitempty"`
+	SavedTokens  int `json:"saved_tokens,omitempty"`
+	// Violations counts requests completing past their class deadline
+	// this tick (serve campaigns only).
+	Violations int `json:"violations,omitempty"`
 }
 
 // eventOf converts an internal iteration record to its wire form.
@@ -526,6 +575,10 @@ func eventOf(rec campaign.IterRecord) CampaignEvent {
 		Recovery:     rec.Recovery,
 		Events:       rec.Events,
 		World:        rec.World,
+		Queued:       rec.Queued,
+		AffinityHits: rec.AffinityHits,
+		SavedTokens:  rec.SavedTokens,
+		Violations:   rec.Violations,
 	}
 }
 
@@ -555,6 +608,14 @@ type CampaignSummary struct {
 
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 	FaultEvents     int     `json:"fault_events,omitempty"`
+
+	// Serving aggregates (serve campaigns only): completed requests,
+	// deadline violations, requests unserved at the horizon cutoff, and
+	// total stream time in seconds (busy plus idle).
+	Requests   int     `json:"requests,omitempty"`
+	Violations int     `json:"violations,omitempty"`
+	Unserved   int     `json:"unserved,omitempty"`
+	StreamTime float64 `json:"stream_time,omitempty"`
 }
 
 // summaryOf converts the internal summary to its wire form.
@@ -579,6 +640,10 @@ func summaryOf(s campaign.Summary) CampaignSummary {
 		MeanUtilization: s.MeanUtilization,
 		RecoverySeconds: s.RecoverySeconds,
 		FaultEvents:     s.FaultEvents,
+		Requests:        s.Requests,
+		Violations:      s.Violations,
+		Unserved:        s.Unserved,
+		StreamTime:      s.StreamTime,
 	}
 }
 
@@ -587,6 +652,9 @@ type CampaignReport struct {
 	Summary CampaignSummary `json:"summary"`
 	// PerRankUtil is each rank's campaign-cumulative busy fraction.
 	PerRankUtil []float64 `json:"per_rank_util"`
+	// Classes are the per-SLO-class serving metrics, highest priority
+	// first (serve campaigns only).
+	Classes []ClassMetrics `json:"classes,omitempty"`
 	// Events holds every iteration in order.
 	Events []CampaignEvent `json:"events"`
 }
